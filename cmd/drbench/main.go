@@ -1,0 +1,73 @@
+// Command drbench regenerates the paper's Table I: every DRB/TMB
+// microbenchmark under TaskSanitizer, Archer, ROMP and Taskgrind, with the
+// published cells shown next to any mismatching measurement.
+//
+// Usage:
+//
+//	drbench            # full table
+//	drbench -seeds 16  # more schedules per (benchmark, tool) cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/drb"
+)
+
+func main() {
+	nseeds := flag.Int("seeds", 8, "schedules per cell (detection = any seed)")
+	bench := flag.String("bench", "", "show one benchmark's per-tool verdicts and reports")
+	threads := flag.Int("threads", 4, "thread count for -bench")
+	flag.Parse()
+
+	if *bench != "" {
+		detail(*bench, *threads, *nseeds)
+		return
+	}
+
+	seeds := make([]uint64, *nseeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	rows, err := drb.GenerateTableI(seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drbench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(drb.FormatTableI(rows))
+
+	per := drb.MatchStats(rows)
+	fmt.Println()
+	for tool := drb.Tool(0); tool < drb.NumTools; tool++ {
+		fmt.Printf("%-14s agreement with paper: %d/%d; false negatives: %d\n",
+			tool, per[tool][0], per[tool][1], drb.FalseNegatives(rows, tool))
+	}
+}
+
+// detail prints one benchmark's verdict under every tool.
+func detail(name string, threads, nseeds int) {
+	b, ok := drb.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "drbench: unknown benchmark %q (see drbench with no flags)\n", name)
+		os.Exit(2)
+	}
+	seeds := make([]uint64, nseeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	truth := "no"
+	if b.Race {
+		truth = "yes"
+	}
+	fmt.Printf("%s — determinacy race: %s, %d threads, %d schedules\n", b.Name, truth, threads, nseeds)
+	for tool := drb.Tool(0); tool < drb.NumTools; tool++ {
+		v, err := drb.VerdictOf(b, tool, threads, seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("  %-14s %s\n", tool.String(), v)
+	}
+}

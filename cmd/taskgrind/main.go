@@ -1,0 +1,211 @@
+// Command taskgrind runs a built-in guest program under an analysis tool —
+// the equivalent of `valgrind --tool=taskgrind ./a.out` in the paper's
+// setup. Programs are selected by name: every DRB/TMB microbenchmark, the
+// LULESH proxy, and the paper's Listing 4 example.
+//
+// Usage:
+//
+//	taskgrind -prog 027-taskdependmissing-orig -tool taskgrind -threads 4
+//	taskgrind -prog lulesh -racy -s 8 -tool taskgrind
+//	taskgrind -prog task.c -tool romp
+//	taskgrind -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drb"
+	"repro/internal/gasm"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/lulesh"
+	"repro/internal/omp"
+	"repro/internal/tools/archer"
+	"repro/internal/tools/memcheck"
+	"repro/internal/tools/romp"
+	"repro/internal/tools/toolreg"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		prog    = flag.String("prog", "task.c", "program to run (-list to enumerate)")
+		asmFile = flag.String("asm", "", "assemble and run a guest .s file instead of -prog")
+		tool    = flag.String("tool", "taskgrind", fmt.Sprintf("analysis tool %v", toolreg.Names()))
+		threads = flag.Int("threads", 4, "OMP_NUM_THREADS")
+		seed    = flag.Uint64("seed", 1, "scheduler seed")
+		list    = flag.Bool("list", false, "list available programs")
+		verbose = flag.Bool("v", false, "print run statistics")
+		dotFile = flag.String("dot", "", "write the segment graph (Graphviz DOT) to this file (taskgrind tools only)")
+		gantt   = flag.Bool("trace", false, "print a task-schedule Gantt chart after the run")
+		// LULESH knobs.
+		s    = flag.Int("s", 8, "lulesh: mesh size")
+		tel  = flag.Int("tel", 4, "lulesh: tasks per element loop")
+		tnl  = flag.Int("tnl", 4, "lulesh: tasks per node loop")
+		iter = flag.Int("i", 2, "lulesh: iterations")
+		racy = flag.Bool("racy", false, "lulesh: drop a task dependence")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("task.c   (the paper's Listing 4 example)")
+		fmt.Println("lulesh   (the proxy application; -s -tel -tnl -i -racy)")
+		for _, b := range drb.All() {
+			fmt.Println(b.Name)
+		}
+		return
+	}
+
+	var b *gbuild.Builder
+	var err error
+	if *asmFile != "" {
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		b, err = gasm.Assemble(string(src))
+	} else {
+		b, err = buildProgram(*prog, lulesh.Params{S: *s, TEL: *tel, TNL: *tnl, Iters: *iter, Racy: *racy})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	tl, count, err := toolreg.Make(*tool)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *gantt {
+		rec = trace.New()
+		if tl != nil {
+			tl = trace.Tee{A: tl, B: rec}
+		} else {
+			tl = rec
+		}
+	}
+	start := time.Now()
+	res, inst, err := harness.BuildAndRun(b, harness.Setup{
+		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Err != nil {
+		fatal(res.Err)
+	}
+	if *verbose {
+		fmt.Printf("== exit=%d wall=%v instrs=%d blocks=%d switches=%d mem=%.2fMB\n",
+			res.ExitCode, time.Since(start).Round(time.Microsecond),
+			res.GuestInstrs, inst.M.BlocksExecuted, inst.M.Switches,
+			float64(res.Footprint)/1e6)
+	}
+	if rec != nil {
+		fmt.Println("== task schedule (block time) ==")
+		if err := rec.Gantt(os.Stdout, 72); err != nil {
+			fatal(err)
+		}
+	}
+	// Render tool reports.
+	if tee, ok := tl.(trace.Tee); ok {
+		tl = tee.A
+	}
+	switch tt := tl.(type) {
+	case *core.Taskgrind:
+		if *dotFile != "" {
+			df, derr := os.Create(*dotFile)
+			if derr != nil {
+				fatal(derr)
+			}
+			if derr := tt.DumpDOT(df); derr != nil {
+				fatal(derr)
+			}
+			df.Close()
+			fmt.Fprintf(os.Stderr, "segment graph written to %s\n", *dotFile)
+		}
+		if tt.Opt.IgnoreMutexinoutsetDeps { // the ROMP configuration
+			fmt.Print(romp.Format(&tt.Reports))
+		} else {
+			fmt.Print(tt.Reports.String())
+		}
+	case *archer.Archer:
+		fmt.Print(tt.String())
+	case *memcheck.Memcheck:
+		fmt.Print(tt.String())
+	default:
+		fmt.Printf("== %d report(s)\n", count())
+	}
+	if count() > 0 {
+		os.Exit(1)
+	}
+}
+
+func buildProgram(name string, lp lulesh.Params) (*gbuild.Builder, error) {
+	switch name {
+	case "lulesh":
+		return lulesh.Build(lp)
+	case "task.c":
+		return listing4(), nil
+	}
+	if b, ok := drb.ByName(name); ok {
+		return b.Build(), nil
+	}
+	return nil, fmt.Errorf("unknown program %q (use -list)", name)
+}
+
+// listing4 is the paper's erroneous example program (Listing 4).
+func listing4() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("xptr", 8)
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+
+	f := b.Func("task_a", "task.c")
+	f.Line(8)
+	f.LoadSym(r1, "xptr")
+	f.Ld(8, r1, r1, 0)
+	f.Ldi(r2, 42)
+	f.St(4, r1, 0, r2)
+	f.Ret()
+
+	f = b.Func("task_b", "task.c")
+	f.Line(11)
+	f.LoadSym(r1, "xptr")
+	f.Ld(8, r1, r1, 0)
+	f.Ldi(r2, 43)
+	f.St(4, r1, 0, r2)
+	f.Ret()
+
+	f = b.Func("micro", "task.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(8)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_a"})
+		fn.Line(11)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_b"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "task.c")
+	f.Enter(0)
+	f.Line(3)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.LoadSym(r1, "xptr")
+	f.St(8, r1, 0, r0)
+	f.Line(4)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskgrind:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lulesh"
+)
+
+func TestBuildProgramResolvesNames(t *testing.T) {
+	lp := lulesh.Params{S: 4, TEL: 2, TNL: 2, Iters: 1}
+	for _, name := range []string{"task.c", "lulesh", "027-taskdependmissing-orig", "1001-stack_1"} {
+		if _, err := buildProgram(name, lp); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildProgram("nonesuch", lp); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestListing4ReproducesThePaperExample(t *testing.T) {
+	tg := core.New(core.DefaultOptions())
+	res, _, err := harness.BuildAndRun(listing4(), harness.Setup{Tool: tg, Seed: 1, Threads: 4})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if tg.RaceCount != 1 {
+		t.Fatalf("races = %d, want 1\n%s", tg.RaceCount, tg.Reports.String())
+	}
+}

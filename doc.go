@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "Taskgrind:
+// Heavyweight Dynamic Binary Instrumentation for Parallel Programs
+// Analysis" (Pereira, Stelle, Carribault — Correctness'24 at SC24).
+//
+// The repository contains the full stack the paper's tool sits on, rebuilt
+// as a deterministic simulation:
+//
+//   - internal/guest, internal/gbuild, internal/gmem, internal/vm: a 64-bit
+//     RISC guest machine, binary image format with debug info, a structured
+//     assembler, and a deterministic serialized-thread scheduler (the
+//     Valgrind execution model).
+//   - internal/vex, internal/dbi: the VEX-like IR and the DBI framework —
+//     JIT block translation, tool plugins, client requests, function
+//     replacement, allocation registry.
+//   - internal/omp, internal/ompt, internal/cilk, internal/qthreads: the
+//     parallel programming models (task dependences, taskwait/taskgroup,
+//     barriers, work stealing, spawn/sync, full/empty bits) with an
+//     OMPT-style event bridge.
+//   - internal/core: Taskgrind itself — per-segment interval-tree access
+//     recording, segment-graph construction, the determinacy-race analysis
+//     of Algorithm 1, and the §IV false-positive suppressions.
+//   - internal/tools/...: the compared tools — Archer (thread-centric
+//     vector clocks), TaskSanitizer and ROMP (segment-graph engines with
+//     their published capability gaps).
+//   - internal/drb, internal/lulesh: the DataRaceBench/TMB suites of
+//     Table I and the LULESH proxy of Table II / Fig 4.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. bench_test.go regenerates every table and
+// figure as Go benchmarks.
+package repro

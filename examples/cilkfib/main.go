@@ -1,0 +1,115 @@
+// Cilk example: recursive fib with cilk_spawn / cilk_sync, analyzed by
+// Taskgrind — first correct, then with the sync after the read (the
+// textbook Cilk determinacy race).
+//
+//	go run ./examples/cilkfib
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+)
+
+const (
+	r0 = guest.R0
+	r1 = guest.R1
+	r2 = guest.R2
+	r3 = guest.R3
+	r9 = guest.R9
+)
+
+// fib builds:
+//
+//	int fib(int n) {
+//	    if (n < 2) return n;
+//	    int x = cilk_spawn fib(n-1);
+//	    int y = cilk_spawn fib(n-2);
+//	    cilk_sync;               // moved after the read when racy
+//	    return x + y;
+//	}
+func fib(n int32, racy bool) *gbuild.Builder {
+	b := cilk.NewProgram(4)
+
+	f := b.Func("cilk_fib", "fib.c")
+	f.Line(5)
+	f.Enter(48)
+	f.Ld(8, r1, r0, 0) // n
+	f.Ld(8, r2, r0, 8) // result*
+	f.StLocal(8, 8, r1)
+	f.StLocal(8, 16, r2)
+	rec := f.NewLabel()
+	f.Ldi(r3, 2)
+	f.Bge(r1, r3, rec)
+	f.St(8, r2, 0, r1)
+	f.Leave()
+	f.Bind(rec)
+	spawn := func(delta, off int32) {
+		cilk.Spawn(f, "cilk_fib", 16, func(f *gbuild.Func, p uint8) {
+			f.LdLocal(8, r9, 8)
+			f.Addi(r9, r9, -delta)
+			f.St(8, p, 0, r9)
+			f.LocalAddr(r9, off)
+			f.St(8, p, 8, r9)
+		})
+	}
+	spawn(1, 24) // x
+	spawn(2, 32) // y
+	if !racy {
+		cilk.Sync(f)
+	}
+	f.Line(12)
+	f.LdLocal(8, r1, 24)
+	f.LdLocal(8, r2, 32)
+	f.Add(r1, r1, r2)
+	f.LdLocal(8, r2, 16)
+	f.St(8, r2, 0, r1)
+	if racy {
+		cilk.Sync(f)
+	}
+	f.Leave()
+
+	f = b.Func("cilk_main", "fib.c")
+	f.Line(20)
+	f.Enter(16)
+	cilk.Spawn(f, "cilk_fib", 16, func(f *gbuild.Func, p uint8) {
+		f.Ldi(r9, n)
+		f.St(8, p, 0, r9)
+		f.LocalAddr(r9, 8)
+		f.St(8, p, 8, r9)
+	})
+	cilk.Sync(f)
+	f.LdLocal(8, r1, 8)
+	cilk.Exit(f, r1)
+	f.Leave()
+	return b
+}
+
+func analyze(label string, racy bool) {
+	opt := core.DefaultOptions()
+	opt.NoFreePool = true // the §IV-B future-work extension
+	tg := core.New(opt)
+	res, _, err := harness.BuildAndRun(fib(10, racy), harness.Setup{Tool: tg, Seed: 3, Threads: 4})
+	if err != nil || res.Err != nil {
+		fmt.Fprintln(os.Stderr, err, res.Err)
+		os.Exit(2)
+	}
+	fmt.Printf("== %s: fib(10) = %d, %d determinacy race(s)\n", label, res.ExitCode, tg.RaceCount)
+	for i, r := range tg.Reports.Races {
+		if i >= 3 {
+			fmt.Printf("   ... and %d more\n", tg.RaceCount-3)
+			break
+		}
+		fmt.Print("   ", r.String())
+	}
+}
+
+func main() {
+	analyze("correct (sync before read)", false)
+	analyze("racy (sync after read)", true)
+}

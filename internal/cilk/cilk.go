@@ -1,0 +1,62 @@
+// Package cilk provides the Cilk programming model front end of the paper's
+// §III-A(b): spawn/sync task parallelism. Following the paper's observation
+// that "Cilk programs can be assumed to have a single parallel region
+// containing all tasks", the front end lowers spawn/sync onto the shared
+// work-stealing tasking substrate: a Cilk program is one parallel region
+// whose initial worker runs main's continuation, cilk_spawn creates a task,
+// and cilk_sync waits for the current function's children — exactly the
+// segment structure (strands between spawn/sync points) a Cilk race
+// detector reasons about.
+package cilk
+
+import (
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+)
+
+// NewProgram creates a builder with the runtime prelude and the Cilk
+// bootstrap emitted. User code defines `cilk_main` (the entry strand) and
+// any number of spawned functions; main is generated.
+func NewProgram(workers int) *gbuild.Builder {
+	b := omp.NewProgram()
+
+	// The bootstrap microtask: the first worker runs cilk_main inside a
+	// single region (one parallel region containing all tasks).
+	f := b.Func("__cilk_boot", "libcilk.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		// Cilk semantics are task semantics regardless of worker
+		// count: annotate so serialized executions stay analyzable.
+		omp.AssumeDeferrable(fn, true)
+		fn.Call("cilk_main")
+	})
+	f.Leave()
+
+	f = b.Func("main", "libcilk.c")
+	f.Enter(0)
+	f.Ldi(guest.R1, 0)
+	omp.Parallel(f, "__cilk_boot", guest.R1, workers)
+	f.LoadSym(guest.R1, "__cilk_exit")
+	f.Ld(8, guest.R0, guest.R1, 0)
+	f.Hlt(guest.R0)
+	b.Global("__cilk_exit", 8)
+	return b
+}
+
+// Spawn emits `cilk_spawn fn(...)`: the child runs fn with the payload
+// filled by fill (nil for none); the parent continuation proceeds — and may
+// be stolen, exactly like a task.
+func Spawn(f *gbuild.Func, fn string, payloadBytes int32, fill func(*gbuild.Func, uint8)) {
+	omp.EmitTask(f, omp.TaskOpts{Fn: fn, PayloadBytes: payloadBytes, Fill: fill})
+}
+
+// Sync emits `cilk_sync`: wait for every child this function spawned.
+func Sync(f *gbuild.Func) { omp.Taskwait(f) }
+
+// Exit stores the program's exit value (from reg) for main to return.
+func Exit(f *gbuild.Func, reg uint8) {
+	f.LoadSym(guest.R9, "__cilk_exit")
+	f.St(8, guest.R9, 0, reg)
+}

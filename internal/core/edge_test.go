@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/tools/toolreg"
+)
+
+// serialOnly is a program with no parallel region at all.
+func serialOnly() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x", 8)
+	f := b.Func("main", "serial.c")
+	f.Enter(0)
+	f.LoadSym(R1, "x")
+	f.Ldi(R2, 9)
+	f.St(8, R1, 0, R2)
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+	return b
+}
+
+// TestSerialProgramUnderEveryTool: no tool reports anything on purely
+// serial code, and none crashes.
+func TestSerialProgramUnderEveryTool(t *testing.T) {
+	for _, name := range toolreg.Names() {
+		tool, count, err := toolreg.Make(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := harness.BuildAndRun(serialOnly(), harness.Setup{Tool: tool, Seed: 1, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s: %v %v", name, err, res.Err)
+		}
+		if res.ExitCode != 9 {
+			t.Errorf("%s: exit = %d", name, res.ExitCode)
+		}
+		if count() != 0 {
+			t.Errorf("%s reported %d on serial code", name, count())
+		}
+	}
+}
+
+// TestEmptyParallelRegion: a region whose microtask does nothing.
+func TestEmptyParallelRegion(t *testing.T) {
+	b := omp.NewProgram()
+	f := b.Func("micro", "empty.c")
+	f.Enter(0)
+	f.Leave()
+	f = b.Func("main", "empty.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 3)
+	f.Hlt(R0)
+
+	tg := core.New(core.DefaultOptions())
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Tool: tg, Seed: 1, Threads: 4})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if res.ExitCode != 3 || tg.RaceCount != 0 {
+		t.Fatalf("exit=%d races=%d", res.ExitCode, tg.RaceCount)
+	}
+	// A fork/join structure exists even with no work.
+	if tg.Graph().NumNodes() < 6 {
+		t.Fatalf("nodes = %d", tg.Graph().NumNodes())
+	}
+}
+
+// TestBackToBackRegionsAreOrdered: Eq. 1 — everything in region 1 happens
+// before everything in region 2, so cross-region write/write pairs are not
+// races.
+func TestBackToBackRegionsAreOrdered(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("x", 8)
+	f := b.Func("micro", "two.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.LoadSym(R1, "x")
+		fn.Ld(8, R2, R1, 0)
+		fn.Addi(R2, R2, 1)
+		fn.St(8, R1, 0, R2)
+	})
+	f.Leave()
+	f = b.Func("main", "two.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.LoadSym(R1, "x")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+
+	for seed := uint64(1); seed <= 6; seed++ {
+		tg := core.New(core.DefaultOptions())
+		res, _, err := harness.BuildAndRun(b, harness.Setup{Tool: tg, Seed: seed, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 2 {
+			t.Fatalf("x = %d", res.ExitCode)
+		}
+		if tg.RaceCount != 0 {
+			t.Fatalf("seed %d: cross-region FP (Eq.1 broken):\n%s", seed, tg.Reports.String())
+		}
+		b = rebuildTwoRegions()
+	}
+}
+
+func rebuildTwoRegions() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x", 8)
+	f := b.Func("micro", "two.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.LoadSym(R1, "x")
+		fn.Ld(8, R2, R1, 0)
+		fn.Addi(R2, R2, 1)
+		fn.St(8, R1, 0, R2)
+	})
+	f.Leave()
+	f = b.Func("main", "two.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.LoadSym(R1, "x")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+	return b
+}

@@ -1,0 +1,269 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// TestDumpDOT renders the listing4 segment graph and checks structure.
+func TestDumpDOT(t *testing.T) {
+	tg := runTG(t, listing4(true), core.DefaultOptions(), 2, 4)
+	var buf bytes.Buffer
+	if err := tg.DumpDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph segments", "task.c:8", "task.c:11",
+		"->", "color=red", "shape=box",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+// TestMaxReportsCapsDetailsNotCount: the count stays exact past the cap.
+func TestMaxReportsCapsDetailsNotCount(t *testing.T) {
+	// Many racing task pairs: N tasks all writing the same global.
+	b := omp.NewProgram()
+	b.Global("g", 8)
+	f := b.Func("w", "cap.c")
+	f.LoadSym(R1, "g")
+	f.Ldi(R2, 1)
+	f.St(8, R1, 0, R2)
+	f.Ret()
+	f = b.Func("micro", "cap.c")
+	f.Enter(16)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Ldi(guest.R3, 0)
+		fn.StLocal(8, 8, guest.R3)
+		loop := fn.NewLabel()
+		fn.Bind(loop)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "w"})
+		fn.LdLocal(8, guest.R3, 8)
+		fn.Addi(guest.R3, guest.R3, 1)
+		fn.StLocal(8, 8, guest.R3)
+		fn.Ldi(guest.R2, 8)
+		fn.Blt(guest.R3, guest.R2, loop)
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+	f = b.Func("main", "cap.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 0)
+	f.Hlt(R0)
+
+	opt := core.DefaultOptions()
+	opt.MaxReports = 5
+	tg := core.New(opt)
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Tool: tg, Seed: 3, Threads: 4})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	// 8 mutually racing tasks: 28 pairs.
+	if tg.RaceCount != 28 {
+		t.Fatalf("count = %d, want 28", tg.RaceCount)
+	}
+	if tg.Reports.Len() != 5 {
+		t.Fatalf("stored reports = %d, want cap 5", tg.Reports.Len())
+	}
+}
+
+// TestTLSGenBumpDefeatsSuppression: after a CRTLSGenBump the same-thread TLS
+// suppression no longer applies (different DTV generations, §IV-C's
+// documented limitation handling).
+func TestTLSGenBumpDefeatsSuppression(t *testing.T) {
+	build := func(bump bool) *gbuild.Builder {
+		b := omp.NewProgram()
+		off := int32(b.TLSGlobal("tv", 8))
+
+		f := b.Func("w", "tls.c")
+		f.Ld(8, R1, guest.TP, off)
+		f.Addi(R1, R1, 1)
+		f.St(8, guest.TP, off, R1)
+		f.Ret()
+
+		f = b.Func("micro", "tls.c")
+		f.Enter(0)
+		fn := f
+		omp.SingleNowait(f, func() {
+			omp.AssumeDeferrable(fn, true)
+			omp.EmitTask(fn, omp.TaskOpts{Fn: "w"})
+			if bump {
+				fn.Ldi(R0, 2)
+				fn.Creq(ompt.CRTLSGenBump)
+			}
+			omp.EmitTask(fn, omp.TaskOpts{Fn: "w"})
+			omp.Taskwait(fn)
+		})
+		f.Leave()
+
+		f = b.Func("main", "tls.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 1)
+		f.Ldi(R0, 0)
+		f.Hlt(R0)
+		return b
+	}
+	// Without the bump: same thread, same generation -> suppressed.
+	tg := runTG(t, build(false), core.DefaultOptions(), 1, 1)
+	if tg.RaceCount != 0 {
+		t.Fatalf("no-bump races = %d\n%s", tg.RaceCount, tg.Reports.String())
+	}
+	// With a DTV change between the tasks the suppression must not fire.
+	tg = runTG(t, build(true), core.DefaultOptions(), 1, 1)
+	if tg.RaceCount == 0 {
+		t.Fatal("TLS-gen change did not defeat the suppression")
+	}
+}
+
+// TestMutexOrdersOption: with MutexOrders (the TaskSanitizer/ROMP mode),
+// critical sections order segments; without, Taskgrind reports the
+// nondeterministic accumulation (its documented §VI stance).
+func TestMutexOrdersOption(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("sum", 8)
+		f := b.Func("acc", "mx.c")
+		f.Enter(0)
+		fn := f
+		omp.Critical(f, 4, func() {
+			fn.LoadSym(R1, "sum")
+			fn.Ld(8, R2, R1, 0)
+			fn.Addi(R2, R2, 1)
+			fn.St(8, R1, 0, R2)
+		})
+		f.Leave()
+		f = b.Func("micro", "mx.c")
+		f.Enter(0)
+		fn2 := f
+		omp.SingleNowait(f, func() {
+			omp.EmitTask(fn2, omp.TaskOpts{Fn: "acc"})
+			omp.EmitTask(fn2, omp.TaskOpts{Fn: "acc"})
+			omp.Taskwait(fn2)
+		})
+		f.Leave()
+		f = b.Func("main", "mx.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.Ldi(R0, 0)
+		f.Hlt(R0)
+		return b
+	}
+	// Taskgrind (no mutex support): reports across seeds.
+	found := false
+	for seed := uint64(1); seed <= 6 && !found; seed++ {
+		tg := runTG(t, build(), core.DefaultOptions(), seed, 4)
+		found = tg.RaceCount > 0
+	}
+	if !found {
+		t.Fatal("Taskgrind did not flag mutex-only 'ordering'")
+	}
+	// MutexOrders mode: clean.
+	for seed := uint64(1); seed <= 6; seed++ {
+		opt := core.DefaultOptions()
+		opt.MutexOrders = true
+		tg := runTG(t, build(), opt, seed, 4)
+		if tg.RaceCount != 0 {
+			t.Fatalf("seed %d: MutexOrders mode reported %d", seed, tg.RaceCount)
+		}
+	}
+}
+
+// TestCompileTimeModeMatchesIRMode: the same tool options find the same
+// races whether running as IR instrumentation or as compiled-in hooks.
+func TestCompileTimeModeMatchesIRMode(t *testing.T) {
+	for _, compileTime := range []bool{false, true} {
+		opt := core.DefaultOptions()
+		opt.CompileTime = compileTime
+		opt.IgnorePoolRegion = true // hook mode skips pool via same predicate
+		tg := runTG(t, listing4(true), opt, 2, 4)
+		if tg.RaceCount != 1 {
+			t.Fatalf("compileTime=%v: races = %d, want 1", compileTime, tg.RaceCount)
+		}
+	}
+}
+
+// TestStackLifetimeSuppressionDirect exercises the §IV-D extension inside
+// this package: two concurrent subtrees scheduled sequentially on one
+// thread reuse parent-frame addresses; the suppression must separate the
+// dead object from the live one.
+func TestStackLifetimeSuppressionDirect(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+
+		// child writes into its parent's frame through the pointer in
+		// its payload.
+		f := b.Func("child", "lt.c")
+		f.Ld(8, R1, R0, 0)
+		f.Ldi(R2, 1)
+		f.St(8, R1, 0, R2)
+		f.Ret()
+
+		// parent: spawn child with &local captured, taskwait (so the
+		// write stays inside the parent's lifetime).
+		f = b.Func("parent", "lt.c")
+		f.Enter(16)
+		fn := f
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "child", PayloadBytes: 8,
+			Fill: func(f *gbuild.Func, p uint8) {
+				f.LocalAddr(guest.R9, 8)
+				f.St(8, p, 0, guest.R9)
+			}})
+		omp.Taskwait(fn)
+		f.Leave()
+
+		f = b.Func("micro", "lt.c")
+		f.Enter(0)
+		fn2 := f
+		omp.SingleNowait(f, func() {
+			omp.AssumeDeferrable(fn2, true)
+			// Two parent tasks: their frames reuse the same stack
+			// addresses when run back-to-back on one thread, and
+			// their children's writes land on the same address —
+			// different objects.
+			omp.EmitTask(fn2, omp.TaskOpts{Fn: "parent"})
+			omp.EmitTask(fn2, omp.TaskOpts{Fn: "parent"})
+			omp.Taskwait(fn2)
+		})
+		f.Leave()
+
+		f = b.Func("main", "lt.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 1)
+		f.Ldi(R0, 0)
+		f.Hlt(R0)
+		return b
+	}
+	// With the extensions: clean (one thread forces frame reuse; pool
+	// no-free keeps the payload captures out of the way).
+	opt0 := core.DefaultOptions()
+	opt0.NoFreePool = true
+	tg := runTG(t, build(), opt0, 1, 1)
+	if tg.RaceCount != 0 {
+		t.Fatalf("lifetime suppression missed reuse: %d races\n%s", tg.RaceCount, tg.Reports.String())
+	}
+	// Without it: the published tool's FP class appears.
+	opt := core.DefaultOptions()
+	opt.NoFreePool = true
+	opt.StackLifetimeSuppression = false
+	tg = runTG(t, build(), opt, 1, 1)
+	if tg.RaceCount == 0 {
+		t.Fatal("expected the paper's parent-frame FP without the extension")
+	}
+}

@@ -1,0 +1,267 @@
+// Package dbi is the dynamic binary instrumentation framework — the analog
+// of the Valgrind core in the paper. It translates guest basic blocks to
+// flat VEX-like IR just in time, hands every translated block to the loaded
+// tool plugin for instrumentation, caches translations, and executes the
+// instrumented IR. It also provides the facilities Valgrind tools rely on:
+// client requests, function replacement (host-call redirection), shadow call
+// stacks, and a heap-allocation registry with captured allocation stacks.
+package dbi
+
+import (
+	"sort"
+
+	"repro/internal/guest"
+	"repro/internal/vex"
+	"repro/internal/vm"
+)
+
+// Tool is the plugin interface, mirroring a Valgrind tool: it gets every
+// translated superblock once (at translation time) and may rewrite it, and
+// receives the framework's runtime callbacks.
+type Tool interface {
+	// Name identifies the tool in reports.
+	Name() string
+	// Instrument rewrites a freshly translated superblock. It runs once
+	// per guest block; the result is cached.
+	Instrument(c *Core, sb *vex.SuperBlock) *vex.SuperBlock
+	// ClientRequest handles an OpCreq from guest code (or from host-side
+	// runtime bridges). The return value is delivered in R0.
+	ClientRequest(t *vm.Thread, code int32, args [6]uint64) uint64
+	// ThreadStart/ThreadExit track guest thread lifetime.
+	ThreadStart(t *vm.Thread)
+	ThreadExit(t *vm.Thread)
+	// Fini runs after the guest program terminates (analysis passes).
+	Fini(c *Core)
+}
+
+// NopTool is an embeddable do-nothing Tool.
+type NopTool struct{}
+
+// Name implements Tool.
+func (NopTool) Name() string { return "none" }
+
+// Instrument implements Tool (identity).
+func (NopTool) Instrument(_ *Core, sb *vex.SuperBlock) *vex.SuperBlock { return sb }
+
+// ClientRequest implements Tool.
+func (NopTool) ClientRequest(*vm.Thread, int32, [6]uint64) uint64 { return 0 }
+
+// ThreadStart implements Tool.
+func (NopTool) ThreadStart(*vm.Thread) {}
+
+// ThreadExit implements Tool.
+func (NopTool) ThreadExit(*vm.Thread) {}
+
+// Fini implements Tool.
+func (NopTool) Fini(*Core) {}
+
+// AllocBlock describes one live (or, in no-free mode, ever-made) heap
+// allocation, with the stack captured at allocation time — the information
+// Taskgrind's error reports print ("allocated in block ... from task.c:3").
+type AllocBlock struct {
+	Addr  uint64
+	Size  uint64
+	Seq   uint64 // allocation sequence number
+	Stack []uint64
+	Freed bool
+}
+
+// Core couples a vm.Machine with a Tool: the running DBI session.
+type Core struct {
+	M    *vm.Machine
+	tool Tool
+
+	cache map[uint64]*vex.SuperBlock
+	// Translations counts distinct blocks translated.
+	Translations uint64
+	// cacheStmts counts IR statements held in the translation cache.
+	cacheStmts uint64
+
+	// allocation registry, sorted by Addr for lookup.
+	allocs   []*AllocBlock
+	allocSeq uint64
+
+	// Validate makes the engine validate every instrumented block
+	// (debug mode).
+	Validate bool
+	// NoOptimize disables the VEX-style IR cleanup pass that normally
+	// runs between translation and tool instrumentation.
+	NoOptimize bool
+}
+
+// Attacher is implemented by tools that need the core before the run starts
+// (to install redirections, register shadow-footprint reporting, ...).
+type Attacher interface {
+	Attach(c *Core)
+}
+
+// CompileTimeTool is implemented by tools modelling compile-time (or static
+// binary rewriting) instrumentation: instead of the heavyweight IR engine,
+// they run on the direct interpreter with compiled-in access hooks — the
+// architectural difference behind Archer's 10x vs Taskgrind's 100x
+// overhead in the paper.
+type CompileTimeTool interface {
+	// AccessHooks returns the load/store checks and the per-instruction
+	// instrumentation filter for the image.
+	AccessHooks(im *guest.Image) (load, store vm.AccessHook, filter []bool)
+}
+
+// New wraps a machine with a tool and installs the translating engine and
+// hooks. Pass nil for tool to run the direct engine (no instrumentation)
+// while keeping Core facilities available. Threads that already exist (the
+// main thread) get their ThreadStart callback immediately.
+func New(m *vm.Machine, tool Tool) *Core {
+	c := &Core{M: m, tool: tool, cache: make(map[uint64]*vex.SuperBlock)}
+	if tool != nil {
+		installed := false
+		if ct, ok := tool.(CompileTimeTool); ok {
+			if load, store, filter := ct.AccessHooks(m.Image); load != nil || store != nil {
+				m.Eng = &vm.DirectEngine{LoadHook: load, StoreHook: store, Filter: filter}
+				installed = true
+			}
+		}
+		if !installed {
+			m.Eng = &irEngine{c: c}
+		}
+		m.Hooks.ClientRequest = func(t *vm.Thread, code int32, args [6]uint64) uint64 {
+			return tool.ClientRequest(t, code, args)
+		}
+		m.Hooks.ThreadStart = tool.ThreadStart
+		m.Hooks.ThreadExit = tool.ThreadExit
+		if a, ok := tool.(Attacher); ok {
+			a.Attach(c)
+		}
+		for _, t := range m.Threads() {
+			tool.ThreadStart(t)
+		}
+	}
+	return c
+}
+
+// Tool returns the loaded tool (nil when uninstrumented).
+func (c *Core) Tool() Tool { return c.tool }
+
+// Run executes the program to completion and then runs the tool's Fini.
+func (c *Core) Run() error {
+	if err := c.M.Run(); err != nil {
+		return err
+	}
+	if c.tool != nil {
+		c.tool.Fini(c)
+	}
+	return nil
+}
+
+// ClientRequestFromHost lets host-side runtime bridges (like the built-in
+// OMPT tool) issue client requests on behalf of a guest thread, exactly as
+// if the thread had executed an OpCreq.
+func (c *Core) ClientRequestFromHost(t *vm.Thread, code int32, args [6]uint64) uint64 {
+	if c.tool == nil {
+		return 0
+	}
+	return c.tool.ClientRequest(t, code, args)
+}
+
+// --- allocation registry ---
+
+// RecordAlloc registers a heap block with its allocation stack.
+func (c *Core) RecordAlloc(addr, size uint64, stack []uint64) *AllocBlock {
+	c.allocSeq++
+	b := &AllocBlock{Addr: addr, Size: size, Seq: c.allocSeq, Stack: stack}
+	i := sort.Search(len(c.allocs), func(i int) bool { return c.allocs[i].Addr >= addr })
+	c.allocs = append(c.allocs, nil)
+	copy(c.allocs[i+1:], c.allocs[i:])
+	c.allocs[i] = b
+	return b
+}
+
+// RecordFree marks the block at addr freed (the registry keeps it so stale
+// reports can still resolve the allocation site).
+func (c *Core) RecordFree(addr uint64) *AllocBlock {
+	if b := c.FindBlock(addr); b != nil && b.Addr == addr && !b.Freed {
+		b.Freed = true
+		return b
+	}
+	return nil
+}
+
+// FindBlock returns the most recent allocation whose [Addr, Addr+Size) span
+// contains addr, or nil.
+func (c *Core) FindBlock(addr uint64) *AllocBlock {
+	i := sort.Search(len(c.allocs), func(i int) bool { return c.allocs[i].Addr > addr })
+	var best *AllocBlock
+	for j := i - 1; j >= 0; j-- {
+		b := c.allocs[j]
+		if addr >= b.Addr && addr < b.Addr+b.Size {
+			if best == nil || b.Seq > best.Seq {
+				best = b
+			}
+		}
+		// Allocation spans never exceed the heap; stop scanning once
+		// far below.
+		if best != nil || (j < i-64) {
+			break
+		}
+	}
+	return best
+}
+
+// Allocations returns the registry (sorted by address).
+func (c *Core) Allocations() []*AllocBlock { return c.allocs }
+
+// AllocCount returns the number of registered allocations.
+func (c *Core) AllocCount() int { return len(c.allocs) }
+
+// translate produces the instrumented IR for the block at addr, consulting
+// the translation cache first.
+func (c *Core) translate(addr uint64) (*vex.SuperBlock, error) {
+	if sb, ok := c.cache[addr]; ok {
+		return sb, nil
+	}
+	sb, err := Translate(c.M.Image, addr)
+	if err != nil {
+		return nil, err
+	}
+	if !c.NoOptimize {
+		// The VEX optimization pass: tools instrument cleaned-up IR,
+		// exactly like Valgrind plugins do.
+		sb = vex.Optimize(sb)
+	}
+	if c.tool != nil {
+		sb = c.tool.Instrument(c, sb)
+		if c.Validate {
+			if err := sb.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.cache[addr] = sb
+	c.Translations++
+	c.cacheStmts += uint64(len(sb.Stmts))
+	return sb, nil
+}
+
+// CacheFootprint approximates the memory held by the translation cache —
+// instrumented IR is a real part of a DBI tool's footprint.
+func (c *Core) CacheFootprint() uint64 {
+	const stmtBytes = 96 // sizeof(vex.Stmt) incl. args slices, amortized
+	return c.cacheStmts*stmtBytes + c.Translations*64
+}
+
+// SymbolAt is a convenience for tools: the symbol containing a guest address.
+func (c *Core) SymbolAt(addr uint64) *guest.Symbol { return c.M.Image.SymbolFor(addr) }
+
+// SymbolFilter builds a per-instruction instrumentation filter: instruction
+// i is instrumented iff keep(name of its enclosing function) is true.
+func SymbolFilter(im *guest.Image, keep func(sym string) bool) []bool {
+	n := len(im.Text)
+	filter := make([]bool, n)
+	for i := range filter {
+		name := ""
+		if sym := im.SymbolFor(guest.TextBase + uint64(i)*guest.InstrBytes); sym != nil {
+			name = sym.Name
+		}
+		filter[i] = keep(name)
+	}
+	return filter
+}

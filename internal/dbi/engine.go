@@ -1,0 +1,114 @@
+package dbi
+
+import (
+	"fmt"
+
+	"repro/internal/vex"
+	"repro/internal/vm"
+)
+
+// irEngine is the heavyweight execution engine: every block runs through
+// translated (and tool-instrumented) IR. This is intrinsically slower than
+// the direct interpreter — the source of the paper's 10–100x overhead.
+type irEngine struct {
+	c    *Core
+	tmps []uint64
+	args []uint64
+}
+
+// RunBlock implements vm.Engine.
+func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (vm.RunResult, error) {
+	if t.PC == vm.ThreadExitAddr {
+		return m.ExitThread(t), nil
+	}
+	sb, err := e.c.translate(t.PC)
+	if err != nil {
+		return vm.RunOK, err
+	}
+	if uint32(cap(e.tmps)) < sb.NTemps {
+		e.tmps = make([]uint64, sb.NTemps)
+	}
+	tmps := e.tmps[:cap(e.tmps)]
+	lastIMark := sb.GuestAddr
+
+	eval := func(x vex.Expr) uint64 {
+		switch x.Kind {
+		case vex.KindConst:
+			return x.Const
+		case vex.KindRdTmp:
+			return tmps[x.Tmp]
+		case vex.KindGetReg:
+			return t.Regs[x.Reg]
+		}
+		panic("dbi: bad expr kind")
+	}
+
+	for i := range sb.Stmts {
+		s := &sb.Stmts[i]
+		switch s.Kind {
+		case vex.SIMark:
+			lastIMark = s.Addr
+			m.InstrsExecuted++
+		case vex.SWrTmpExpr:
+			tmps[s.Tmp] = eval(s.E1)
+		case vex.SWrTmpBinop:
+			tmps[s.Tmp] = vex.EvalBinop(s.Op, eval(s.E1), eval(s.E2))
+		case vex.SWrTmpUnop:
+			tmps[s.Tmp] = vex.EvalUnop(s.Op, eval(s.E1))
+		case vex.SWrTmpLoad:
+			tmps[s.Tmp] = m.Mem.Load(eval(s.E1), uint8(s.Wd))
+		case vex.SStore:
+			m.Mem.Store(eval(s.E1), uint8(s.Wd), eval(s.E2))
+		case vex.SPutReg:
+			t.Regs[s.Reg] = eval(s.E1)
+		case vex.SExit:
+			if eval(s.E1) != 0 {
+				t.PC = s.Target
+				return vm.RunOK, nil
+			}
+		case vex.SDirty:
+			if cap(e.args) < len(s.Args) {
+				e.args = make([]uint64, len(s.Args))
+			}
+			args := e.args[:len(s.Args)]
+			for j, a := range s.Args {
+				args[j] = eval(a)
+			}
+			r := s.Fn(t, args)
+			if s.Tmp != vex.NoTemp {
+				tmps[s.Tmp] = r
+			}
+		default:
+			return vm.RunOK, fmt.Errorf("dbi: bad statement kind %d", s.Kind)
+		}
+	}
+
+	next := eval(sb.Next)
+	switch sb.NextJK {
+	case vex.JKBoring:
+		t.PC = next
+		return vm.RunOK, nil
+	case vex.JKCall:
+		t.PushFrame(next, lastIMark)
+		t.PC = next
+		return vm.RunOK, nil
+	case vex.JKRet:
+		t.PopFrame()
+		t.PC = next
+		if next == vm.ThreadExitAddr {
+			return m.ExitThread(t), nil
+		}
+		return vm.RunOK, nil
+	case vex.JKHostCall:
+		t.PC = next
+		return m.DoHostCall(t, sb.Aux), nil
+	case vex.JKClientReq:
+		t.PC = next
+		m.DoClientRequest(t, sb.Aux)
+		return vm.RunOK, nil
+	case vex.JKExitThread:
+		t.PC = next
+		return m.ExitThread(t), nil
+	}
+	return vm.RunOK, fmt.Errorf("dbi: bad jump kind %v", sb.NextJK)
+}

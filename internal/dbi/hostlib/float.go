@@ -1,0 +1,5 @@
+package hostlib
+
+import "math"
+
+func f64(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,170 @@
+package hostlib_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/dbi/hostlib"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// run builds, runs with the host library installed, and returns machine +
+// captured stdout.
+func run(t *testing.T, b *gbuild.Builder) (*vm.Machine, string) {
+	t.Helper()
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := hostlib.New()
+	reg := vm.NewHostRegistry()
+	lib.Install(reg)
+	var out bytes.Buffer
+	m, err := vm.New(im, reg, vm.Config{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := dbi.New(m, nil)
+	lib.Bind(core)
+	if err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, out.String()
+}
+
+func TestCallocZeroes(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "c.c")
+	f.Ldi(guest.R0, 4)
+	f.Ldi(guest.R1, 8)
+	f.Hcall("calloc")
+	// Sum the 32 bytes; must be zero even if the region had garbage.
+	f.Ld(8, guest.R1, guest.R0, 0)
+	f.Ld(8, guest.R2, guest.R0, 8)
+	f.Add(guest.R1, guest.R1, guest.R2)
+	f.Ld(8, guest.R2, guest.R0, 16)
+	f.Add(guest.R1, guest.R1, guest.R2)
+	f.Ld(8, guest.R2, guest.R0, 24)
+	f.Add(guest.R0, guest.R1, guest.R2)
+	f.Hlt(guest.R0)
+	m, _ := run(t, b)
+	if m.ExitCode() != 0 {
+		t.Fatalf("calloc not zeroed: %d", m.ExitCode())
+	}
+}
+
+func TestReallocPreservesContents(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "r.c")
+	f.Ldi(guest.R0, 8)
+	f.Hcall("malloc")
+	f.Mov(guest.R4, guest.R0)
+	f.LdConst64(guest.R1, 0xDEADBEEF)
+	f.St(8, guest.R0, 0, guest.R1)
+	f.Mov(guest.R0, guest.R4)
+	f.Ldi(guest.R1, 64)
+	f.Hcall("realloc")
+	f.Ld(8, guest.R1, guest.R0, 0)
+	f.LdConst64(guest.R2, 0xDEADBEEF)
+	f.Seq(guest.R0, guest.R1, guest.R2)
+	f.Hlt(guest.R0)
+	m, _ := run(t, b)
+	if m.ExitCode() != 1 {
+		t.Fatal("realloc lost contents")
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	b := gbuild.New()
+	b.Global("src", 16)
+	b.Global("dst", 16)
+	f := b.Func("main", "m.c")
+	f.LoadSym(guest.R0, "src")
+	f.Ldi(guest.R1, 0x5A)
+	f.Ldi(guest.R2, 16)
+	f.Hcall("memset")
+	f.LoadSym(guest.R0, "dst")
+	f.LoadSym(guest.R1, "src")
+	f.Ldi(guest.R2, 16)
+	f.Hcall("memcpy")
+	f.LoadSym(guest.R1, "dst")
+	f.Ld(8, guest.R0, guest.R1, 8)
+	f.Hlt(guest.R0)
+	m, _ := run(t, b)
+	if m.ExitCode() != 0x5A5A5A5A5A5A5A5A {
+		t.Fatalf("dst = %#x", m.ExitCode())
+	}
+}
+
+func TestPrintFamily(t *testing.T) {
+	b := gbuild.New()
+	b.GlobalString("msg", "n=")
+	f := b.Func("main", "p.c")
+	f.LoadSym(guest.R0, "msg")
+	f.Hcall("print_str")
+	f.Ldi(guest.R0, -42)
+	f.Hcall("print_i64")
+	f.Ldi(guest.R0, '\n')
+	f.Hcall("putchar")
+	f.LdFloat(guest.R0, 2.5)
+	f.Hcall("print_f64")
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	_, out := run(t, b)
+	if out != "n=-42\n2.5" {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestExitAndAbort(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "e.c")
+	f.Ldi(guest.R0, 17)
+	f.Hcall("exit")
+	f.Hlt(guest.R0) // unreachable
+	m, _ := run(t, b)
+	if m.ExitCode() != 17 {
+		t.Fatalf("exit = %d", m.ExitCode())
+	}
+
+	b2 := gbuild.New()
+	g := b2.Func("main", "a.c")
+	g.Hcall("abort")
+	g.Hlt(guest.R0)
+	m2, _ := run(t, b2)
+	if m2.ExitCode() != 134 {
+		t.Fatalf("abort = %d", m2.ExitCode())
+	}
+}
+
+func TestAllocationsRecordedInRegistry(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "g.c")
+	f.Ldi(guest.R0, 24)
+	f.Hcall("malloc")
+	f.Hcall("free")
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := hostlib.New()
+	reg := vm.NewHostRegistry()
+	lib.Install(reg)
+	m, _ := vm.New(im, reg, vm.Config{})
+	core := dbi.New(m, nil)
+	lib.Bind(core)
+	if err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if core.AllocCount() != 1 {
+		t.Fatalf("allocs = %d", core.AllocCount())
+	}
+	if !core.Allocations()[0].Freed {
+		t.Fatal("free not recorded")
+	}
+}

@@ -1,0 +1,103 @@
+package drb
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// These tests pin the *ground-truth mechanics* of the benchmark programs
+// themselves (independent of any tool): racy programs must have genuinely
+// unordered conflicting accesses, no-race programs must be dependence- or
+// sync-complete, and every program must terminate cleanly at both thread
+// counts under many seeds.
+
+func runPlain(t *testing.T, b Benchmark, threads int, seed uint64) uint64 {
+	t.Helper()
+	res, _, err := harness.BuildAndRun(b.Build(), harness.Setup{Seed: seed, Threads: threads})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s: %v", b.Name, res.Err)
+	}
+	return res.ExitCode
+}
+
+// TestAllProgramsTerminateEverySeed: no deadlocks or crashes across a wider
+// seed sweep than the verdict harness uses.
+func TestAllProgramsTerminateEverySeed(t *testing.T) {
+	for _, b := range All() {
+		for _, threads := range []int{1, 2, 4} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				runPlain(t, b, threads, seed)
+			}
+		}
+	}
+}
+
+// TestGroundTruthStableUnderSerialization: the benchmarks' exit codes are
+// scheduler-independent at one thread (fully deterministic execution).
+func TestGroundTruthStableUnderSerialization(t *testing.T) {
+	for _, b := range All() {
+		want := runPlain(t, b, 1, 1)
+		for seed := uint64(2); seed <= 4; seed++ {
+			if got := runPlain(t, b, 1, seed); got != want {
+				t.Errorf("%s@1: exit %d vs %d across seeds", b.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestSuiteComposition pins the suite's shape against the paper's table.
+func TestSuiteComposition(t *testing.T) {
+	var drbN, tmbN, racy, tsanNCS, segv int
+	for _, b := range All() {
+		if b.TMB {
+			tmbN++
+		} else {
+			drbN++
+		}
+		if b.Race {
+			racy++
+		}
+		if b.TsanNCS {
+			tsanNCS++
+		}
+		if b.RompSegv {
+			segv++
+		}
+	}
+	if drbN != 29 || tmbN != 7 {
+		t.Errorf("suite = %d DRB + %d TMB, want 29 + 7", drbN, tmbN)
+	}
+	// Ground truth: 12 racy DRB rows + 2 racy TMB rows.
+	if racy != 14 {
+		t.Errorf("racy benchmarks = %d, want 14", racy)
+	}
+	if tsanNCS != 17 {
+		t.Errorf("tsan ncs = %d, want 17", tsanNCS)
+	}
+	if segv != 1 {
+		t.Errorf("romp segv = %d, want 1", segv)
+	}
+}
+
+// TestPaperTableCoversEveryRow: the encoded paper table has a cell set for
+// every (benchmark, threads) combination the harness produces.
+func TestPaperTableCoversEveryRow(t *testing.T) {
+	for _, b := range All() {
+		threads := []int{4}
+		if b.TMB {
+			threads = []int{1, 4}
+		}
+		for _, th := range threads {
+			if paperRowFor(b.Name, th) == nil {
+				t.Errorf("no paper row for %s@%d", b.Name, th)
+			}
+		}
+	}
+	if len(PaperTableI) != 29+7+7 {
+		t.Errorf("paper table rows = %d, want 43", len(PaperTableI))
+	}
+}

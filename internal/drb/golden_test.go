@@ -1,0 +1,78 @@
+package drb
+
+import "testing"
+
+// TestTaskgrindColumnGolden pins the complete measured Taskgrind column so
+// behavioural regressions anywhere in the stack (runtime, scheduler,
+// suppressions, graph construction) surface as a table diff. This is the
+// measured table (see EXPERIMENTS.md for the five documented deltas from
+// the paper's published cells).
+func TestTaskgrindColumnGolden(t *testing.T) {
+	golden := map[string]Verdict{
+		"027-taskdependmissing-orig@4":        TP,
+		"072-taskdep1-orig@4":                 TN,
+		"078-taskdep2-orig@4":                 FP,
+		"079-taskdep3-orig@4":                 FP,
+		"095-doall2-taskloop-orig@4":          TP,
+		"096-doall2-taskloop-collapse-orig@4": FP,
+		"100-task-reference-orig@4":           FP,
+		"101-task-value-orig@4":               FP,
+		"106-taskwaitmissing-orig@4":          TP,
+		"107-taskgroup-orig@4":                TN,
+		"122-taskundeferred-orig@4":           TN,
+		"123-taskundeferred-orig@4":           TP,
+		"127-tasking-threadprivate1-orig@4":   FP,
+		"128-tasking-threadprivate2-orig@4":   FP,
+		"129-mergeable-taskwait-orig@4":       FN,
+		"130-mergeable-taskwait-orig@4":       TN,
+		"131-taskdep4-orig-omp45@4":           TP,
+		"132-taskdep4-orig-omp45@4":           TN,
+		"133-taskdep5-orig-omp45@4":           TN,
+		"134-taskdep5-orig-omp45@4":           TP,
+		"135-taskdep-mutexinoutset-orig@4":    TN,
+		"136-taskdep-mutexinoutset-orig@4":    TP,
+		"165-taskdep4-orig-omp50@4":           TP,
+		"166-taskdep4-orig-omp50@4":           TN,
+		"167-taskdep4-orig-omp50@4":           TN,
+		"168-taskdep5-orig-omp50@4":           TP,
+		"173-non-sibling-taskdep@4":           TP,
+		"174-non-sibling-taskdep@4":           TN,
+		"175-non-sibling-taskdep2@4":          TP,
+		"1000-memory-recycling_1@1":           TN,
+		"1001-stack_1@1":                      TP,
+		"1002-stack_2@1":                      TN,
+		"1003-stack_3@1":                      TN,
+		"1004-stack_4@1":                      TP,
+		"1005-stack_5@1":                      TN,
+		"1006-tls_1@1":                        TN,
+		"1000-memory-recycling_1@4":           TN,
+		"1001-stack_1@4":                      TP,
+		"1002-stack_2@4":                      TN,
+		"1003-stack_3@4":                      TN,
+		"1004-stack_4@4":                      TP,
+		"1005-stack_5@4":                      TN,
+		"1006-tls_1@4":                        TN,
+	}
+	rows := table(t)
+	if len(rows) != len(golden) {
+		t.Fatalf("rows = %d, golden = %d", len(rows), len(golden))
+	}
+	for _, r := range rows {
+		key := r.Name + "@" + itoa(r.Threads)
+		want, ok := golden[key]
+		if !ok {
+			t.Errorf("no golden cell for %s", key)
+			continue
+		}
+		if got := r.Verdicts[ToolTaskgrind]; got != want {
+			t.Errorf("%s: Taskgrind = %s, golden %s", key, got, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 1 {
+		return "1"
+	}
+	return "4"
+}

@@ -1,0 +1,131 @@
+package drb
+
+import (
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+)
+
+// Register aliases for benchmark code.
+const (
+	r0 = guest.R0
+	r1 = guest.R1
+	r2 = guest.R2
+	r3 = guest.R3
+	r9 = guest.R9
+)
+
+// emitMain appends the standard main: run micro in a parallel region sized
+// by the harness (OMP_NUM_THREADS), exit 0.
+func emitMain(b *gbuild.Builder, file string) {
+	f := b.Func("main", file)
+	f.Enter(0)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+}
+
+// globalWriter defines a task function that stores val into sym.
+func globalWriter(b *gbuild.Builder, name, file string, line int, sym string, val int32) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.LoadSym(r1, sym)
+	f.Ldi(r2, val)
+	f.St(8, r1, 0, r2)
+	f.Ret()
+}
+
+// globalCopier defines a task function that loads src and stores it to dst
+// (dst = src + add).
+func globalCopier(b *gbuild.Builder, name, file string, line int, src, dst string, add int32) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.LoadSym(r1, src)
+	f.Ld(8, r2, r1, 0)
+	if add != 0 {
+		f.Addi(r2, r2, add)
+	}
+	f.LoadSym(r1, dst)
+	f.St(8, r1, 0, r2)
+	f.Ret()
+}
+
+// payloadWriter defines a task function that reads an 8-byte payload value v
+// and stores 1 into arr[v].
+func payloadWriter(b *gbuild.Builder, name, file string, line int, arr string) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.Ld(8, r1, r0, 0) // payload: index
+	f.Muli(r1, r1, 8)
+	f.LoadSym(r2, arr)
+	f.Add(r2, r2, r1)
+	f.Ldi(r3, 1)
+	f.St(8, r2, 0, r3)
+	f.Ret()
+}
+
+// fillCounter returns a Fill callback capturing the loop counter held in the
+// local slot fp-off (the firstprivate copy-in).
+func fillCounter(off int32) func(*gbuild.Func, uint8) {
+	return func(f *gbuild.Func, p uint8) {
+		f.LdLocal(8, r9, off)
+		f.St(8, p, 0, r9)
+	}
+}
+
+// emitLoop emits `for i = 0; i < n; i++ { body }` with the counter kept in
+// the local slot fp-off (body may clobber every scratch register).
+func emitLoop(f *gbuild.Func, off int32, n int32, body func()) {
+	f.Ldi(r3, 0)
+	f.StLocal(8, off, r3)
+	loop := f.NewLabel()
+	f.Bind(loop)
+	body()
+	f.LdLocal(8, r3, off)
+	f.Addi(r3, r3, 1)
+	f.StLocal(8, off, r3)
+	f.Ldi(r2, n)
+	f.Blt(r3, r2, loop)
+}
+
+// singleMicro wraps body in `micro() { single nowait { body } }` with
+// localBytes of frame for loop counters.
+func singleMicro(b *gbuild.Builder, file string, localBytes int32, body func(f *gbuild.Func)) {
+	f := b.Func("micro", file)
+	f.Enter(localBytes)
+	omp.SingleNowait(f, func() { body(f) })
+	f.Leave()
+}
+
+// publishLocal stores the address of the local slot fp-off into global sym
+// (how benchmarks share a parent-stack variable with tasks).
+func publishLocal(f *gbuild.Func, off int32, sym string) {
+	f.LocalAddr(r9, off)
+	f.LoadSym(r2, sym)
+	f.St(8, r2, 0, r9)
+}
+
+// slowWriter is globalWriter preceded by a spin loop (a long-running task).
+func slowWriter(b *gbuild.Builder, name, file string, line int, sym string, val int32) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.Enter(16)
+	emitLoop(f, 8, 64, func() {})
+	f.LoadSym(r1, sym)
+	f.Ldi(r2, val)
+	f.St(8, r1, 0, r2)
+	f.Leave()
+}
+
+// derefWriter defines a task function that writes val through the pointer
+// stored in global ptrSym.
+func derefWriter(b *gbuild.Builder, name, file string, line int, ptrSym string, val int32) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.LoadSym(r1, ptrSym)
+	f.Ld(8, r1, r1, 0)
+	f.Ldi(r2, val)
+	f.St(8, r1, 0, r2)
+	f.Ret()
+}

@@ -1,0 +1,692 @@
+package drb
+
+import (
+	"repro/internal/gbuild"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// drbSuite builds the 29 task-related DataRaceBench programs of Table I.
+// Each Build mirrors the structure of the original C benchmark; comments
+// note the construct under test and where the (non-)race comes from.
+func drbSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "027-taskdependmissing-orig", Race: true, Build: b027},
+		{Name: "072-taskdep1-orig", Race: false, Build: b072},
+		{Name: "078-taskdep2-orig", Race: false, Build: b078},
+		{Name: "079-taskdep3-orig", Race: false, TsanNCS: true, Build: b079},
+		{Name: "095-doall2-taskloop-orig", Race: true, TsanNCS: true, Build: b095},
+		{Name: "096-doall2-taskloop-collapse-orig", Race: false, TsanNCS: true, Build: b096},
+		{Name: "100-task-reference-orig", Race: false, TsanNCS: true, Build: b100},
+		{Name: "101-task-value-orig", Race: false, Build: b101},
+		{Name: "106-taskwaitmissing-orig", Race: true, Build: b106},
+		{Name: "107-taskgroup-orig", Race: false, Build: b107},
+		{Name: "122-taskundeferred-orig", Race: false, Build: b122},
+		{Name: "123-taskundeferred-orig", Race: true, Build: b123},
+		{Name: "127-tasking-threadprivate1-orig", Race: false, TsanNCS: true, RompSegv: true, Build: b127},
+		{Name: "128-tasking-threadprivate2-orig", Race: false, TsanNCS: true, Build: b128},
+		{Name: "129-mergeable-taskwait-orig", Race: true, TsanNCS: true, Build: b129},
+		{Name: "130-mergeable-taskwait-orig", Race: false, TsanNCS: true, Build: b130},
+		{Name: "131-taskdep4-orig-omp45", Race: true, TsanNCS: true, Build: b131},
+		{Name: "132-taskdep4-orig-omp45", Race: false, TsanNCS: true, Build: b132},
+		{Name: "133-taskdep5-orig-omp45", Race: false, TsanNCS: true, Build: b133},
+		{Name: "134-taskdep5-orig-omp45", Race: true, TsanNCS: true, Build: b134},
+		{Name: "135-taskdep-mutexinoutset-orig", Race: false, TsanNCS: true, Build: b135},
+		{Name: "136-taskdep-mutexinoutset-orig", Race: true, Build: b136},
+		{Name: "165-taskdep4-orig-omp50", Race: true, TsanNCS: true, Build: b165},
+		{Name: "166-taskdep4-orig-omp50", Race: false, TsanNCS: true, Build: b166},
+		{Name: "167-taskdep4-orig-omp50", Race: false, TsanNCS: true, Build: b167},
+		{Name: "168-taskdep5-orig-omp50", Race: true, TsanNCS: true, Build: b168},
+		{Name: "173-non-sibling-taskdep", Race: true, Build: b173},
+		{Name: "174-non-sibling-taskdep", Race: false, Build: b174},
+		{Name: "175-non-sibling-taskdep2", Race: true, Build: b175},
+	}
+}
+
+// 027: two tasks write i with no dependence — the canonical missing-depend
+// race.
+func b027() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("i_v", 8)
+	globalWriter(b, "t1", "d027.c", 10, "i_v", 1)
+	globalWriter(b, "t2", "d027.c", 13, "i_v", 2)
+	singleMicro(b, "d027.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d027.c")
+	return b
+}
+
+// 072: out(i) -> in(i) chain, properly ordered.
+func b072() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("i_v", 8)
+	b.Global("j_v", 8)
+	globalWriter(b, "t1", "d072.c", 10, "i_v", 1)
+	globalCopier(b, "t2", "d072.c", 13, "i_v", "j_v", 0)
+	singleMicro(b, "d072.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "i_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", Deps: []omp.Dep{omp.DepSym(ompt.DepIn, "i_v")}})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d072.c")
+	return b
+}
+
+// payloadTouch prefixes a task function body with a read of its firstprivate
+// payload — the capture pattern whose descriptor-pool recycling gives
+// Taskgrind its §IV-B false positives.
+func payloadTouch(f *gbuild.Func) { f.Ld(8, r9, r0, 0) }
+
+// fillConst is a trivial firstprivate capture.
+func fillConst(f *gbuild.Func, p uint8) {
+	f.Ldi(r9, 7)
+	f.St(8, p, 0, r9)
+}
+
+// 078: out(i) feeding two in(i) readers. No race; the firstprivate captures
+// make it a Taskgrind pool-recycling FP candidate.
+func b078() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("i_v", 8)
+	b.Global("j_v", 8)
+	b.Global("k_v", 8)
+	f := b.Func("t1", "d078.c")
+	f.Line(10)
+	payloadTouch(f)
+	f.LoadSym(r1, "i_v")
+	f.Ldi(r2, 1)
+	f.St(8, r1, 0, r2)
+	f.Ret()
+	for i, dst := range []string{"j_v", "k_v"} {
+		f = b.Func([]string{"t2", "t3"}[i], "d078.c")
+		f.Line(13 + 3*i)
+		payloadTouch(f)
+		f.LoadSym(r1, "i_v")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, dst)
+		f.St(8, r1, 0, r2)
+		f.Ret()
+	}
+	singleMicro(b, "d078.c", 0, func(f *gbuild.Func) {
+		out := []omp.Dep{omp.DepSym(ompt.DepOut, "i_v")}
+		in := []omp.Dep{omp.DepSym(ompt.DepIn, "i_v")}
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", PayloadBytes: 8, Fill: fillConst, Deps: out})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", PayloadBytes: 8, Fill: fillConst, Deps: in})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t3", PayloadBytes: 8, Fill: fillConst, Deps: in})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d078.c")
+	return b
+}
+
+// 079: out(i) -> in(i),out(j) -> in(j) chain with captures.
+func b079() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("i_v", 8)
+	b.Global("j_v", 8)
+	b.Global("k_v", 8)
+	f := b.Func("t1", "d079.c")
+	f.Line(10)
+	payloadTouch(f)
+	f.LoadSym(r1, "i_v")
+	f.Ldi(r2, 1)
+	f.St(8, r1, 0, r2)
+	f.Ret()
+	f = b.Func("t2", "d079.c")
+	f.Line(13)
+	payloadTouch(f)
+	f.LoadSym(r1, "i_v")
+	f.Ld(8, r2, r1, 0)
+	f.LoadSym(r1, "j_v")
+	f.St(8, r1, 0, r2)
+	f.Ret()
+	f = b.Func("t3", "d079.c")
+	f.Line(16)
+	payloadTouch(f)
+	f.LoadSym(r1, "j_v")
+	f.Ld(8, r2, r1, 0)
+	f.LoadSym(r1, "k_v")
+	f.St(8, r1, 0, r2)
+	f.Ret()
+	singleMicro(b, "d079.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", PayloadBytes: 8, Fill: fillConst,
+			Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "i_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", PayloadBytes: 8, Fill: fillConst,
+			Deps: []omp.Dep{omp.DepSym(ompt.DepIn, "i_v"), omp.DepSym(ompt.DepOut, "j_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t3", PayloadBytes: 8, Fill: fillConst,
+			Deps: []omp.Dep{omp.DepSym(ompt.DepIn, "j_v")}})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d079.c")
+	return b
+}
+
+// 095: taskloop without collapse — the inner counter jj stays shared, so
+// every generated task races on it (read-modify-write).
+func b095() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("jj", 8)
+	b.Global("arr", 8*16)
+	f := b.Func("body", "d095.c")
+	f.Line(12)
+	f.Enter(16)
+	emitLoop(f, 8, 4, func() {
+		f.LoadSym(r1, "jj") // racy rmw on the shared inner counter
+		f.Ld(8, r2, r1, 0)
+		f.Andi(r9, r2, 15)
+		f.Muli(r9, r9, 8)
+		f.LoadSym(r0, "arr")
+		f.Add(r0, r0, r9)
+		f.Ldi(r9, 1)
+		f.St(8, r0, 0, r9)
+		f.Addi(r2, r2, 1)
+		f.St(8, r1, 0, r2)
+	})
+	f.Leave()
+	singleMicro(b, "d095.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 4, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d095.c")
+	return b
+}
+
+// 096: taskloop with collapse(2) — both counters are privatized into the
+// task payload; tasks write disjoint slices. No race.
+func b096() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("arr", 8*16)
+	f := b.Func("body", "d096.c")
+	f.Line(12)
+	f.Ld(8, r1, r0, 0) // payload: privatized outer index
+	f.Muli(r1, r1, 32)
+	f.LoadSym(r2, "arr")
+	f.Add(r2, r2, r1)
+	for j := int32(0); j < 4; j++ {
+		f.Ldi(r3, 1)
+		f.St(8, r2, j*8, r3)
+	}
+	f.Ret()
+	singleMicro(b, "d096.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 4, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body", PayloadBytes: 8, Fill: fillCounter(8)})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d096.c")
+	return b
+}
+
+// 100: tasks accumulate into a parent-stack variable through a captured
+// reference, protected by a critical section. No data race — but the
+// accumulation order is nondeterministic, and Taskgrind does not model
+// mutexes (paper §VI), so it reports the unordered writes: FP.
+func b100() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("sump", 8)
+	f := b.Func("acc", "d100.c")
+	f.Line(11)
+	f.Enter(0)
+	payloadTouch(f)
+	fn := f
+	omp.Critical(f, 7, func() {
+		fn.LoadSym(r1, "sump")
+		fn.Ld(8, r1, r1, 0)
+		fn.Ld(8, r2, r1, 0)
+		fn.Addi(r2, r2, 5)
+		fn.St(8, r1, 0, r2)
+	})
+	f.Leave()
+	singleMicro(b, "d100.c", 16, func(f *gbuild.Func) {
+		publishLocal(f, 8, "sump")
+		omp.EmitTask(f, omp.TaskOpts{Fn: "acc", PayloadBytes: 8, Fill: fillConst})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "acc", PayloadBytes: 8, Fill: fillConst})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d100.c")
+	return b
+}
+
+// 101: a loop of tasks capturing the counter by value. Each task writes its
+// own array slot: no race. The captures make it the classic Taskgrind
+// pool-recycling FP (§IV-B).
+func b101() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("arr", 8*16)
+	payloadWriter(b, "body", "d101.c", 12, "arr")
+	singleMicro(b, "d101.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 8, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body", PayloadBytes: 8, Fill: fillCounter(8)})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d101.c")
+	return b
+}
+
+// 106: tasks update a shared sum and the parent reads it without a
+// taskwait: races among the tasks and with the parent.
+func b106() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("sum", 8)
+	b.Global("out", 8)
+	globalCopier(b, "addt", "d106.c", 11, "sum", "sum", 1)
+	singleMicro(b, "d106.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 4, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "addt"})
+		})
+		// Missing taskwait: the read races with the tasks.
+		f.Line(16)
+		f.LoadSym(r1, "sum")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "out")
+		f.St(8, r1, 0, r2)
+	})
+	emitMain(b, "d106.c")
+	return b
+}
+
+// 107: a task inside a taskgroup; the parent reads after the group ends —
+// ordered. Tools without taskgroup support (TaskSanitizer) report it.
+func b107() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	b.Global("out", 8)
+	globalWriter(b, "t1", "d107.c", 11, "x_v", 1)
+	singleMicro(b, "d107.c", 0, func(f *gbuild.Func) {
+		omp.Taskgroup(f, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "t1"})
+		})
+		f.Line(15)
+		f.LoadSym(r1, "x_v")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "out")
+		f.St(8, r1, 0, r2)
+	})
+	emitMain(b, "d107.c")
+	return b
+}
+
+// 122: a loop of if(0) tasks incrementing x. Undeferred tasks execute
+// inline, fully ordered: no race. Tools that treat them as deferred
+// (TaskSanitizer, ROMP) report one.
+func b122() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	globalCopier(b, "inc", "d122.c", 11, "x_v", "x_v", 1)
+	singleMicro(b, "d122.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 4, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "inc", Flags: ompt.FlagIfZero})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d122.c")
+	return b
+}
+
+// 123: a deferred task and an if(0) task write x: the pair is unordered —
+// a real race everyone should catch.
+func b123() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	globalWriter(b, "t1", "d123.c", 10, "x_v", 1)
+	globalWriter(b, "t2", "d123.c", 13, "x_v", 2)
+	singleMicro(b, "d123.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", Flags: ompt.FlagIfZero})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d123.c")
+	return b
+}
+
+// threadprivateBody defines a task updating tp_arr[omp_get_thread_num()] —
+// the "user-based thread-local" pattern §IV-C says Taskgrind cannot
+// suppress: two tasks on the same thread alias the same slot.
+func threadprivateBody(b *gbuild.Builder, name, file string, line int) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.Enter(0)
+	f.Call("omp_get_thread_num")
+	f.Muli(r1, r0, 8)
+	f.LoadSym(r2, "tp_arr")
+	f.Add(r2, r2, r1)
+	f.Ld(8, r3, r2, 0)
+	f.Addi(r3, r3, 1)
+	f.St(8, r2, 0, r3)
+	f.Leave()
+}
+
+// 127/128: every team member creates tasks touching threadprivate state.
+func threadprivateProgram(file string) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("tp_arr", 8*8)
+	threadprivateBody(b, "tptask", file, 12)
+	// No single: each implicit task creates two tasks.
+	f := b.Func("micro", file)
+	f.Enter(16)
+	emitLoop(f, 8, 2, func() {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "tptask"})
+	})
+	omp.Taskwait(f)
+	f.Leave()
+	emitMain(b, file)
+	return b
+}
+
+func b127() *gbuild.Builder { return threadprivateProgram("d127.c") }
+func b128() *gbuild.Builder { return threadprivateProgram("d128.c") }
+
+// 129: a mergeable task updates what it believes is its private copy; per
+// the spec the task may be merged and use the parent's storage, so the
+// program is racy by specification — but no implementation (ours included)
+// merges, so no tool can observe the conflict: universal FN.
+func b129() *gbuild.Builder { return mergeableProgram("d129.c") }
+
+// 130: the no-race variant of the same shape.
+func b130() *gbuild.Builder { return mergeableProgram("d130.c") }
+
+func mergeableProgram(file string) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	f := b.Func("mt", file)
+	f.Line(11)
+	f.Ld(8, r1, r0, 0) // private copy in the payload
+	f.Addi(r1, r1, 1)
+	f.St(8, r0, 0, r1)
+	f.Ret()
+	singleMicro(b, file, 16, func(f *gbuild.Func) {
+		f.LoadSym(r9, "x_v")
+		f.Ld(8, r9, r9, 0)
+		f.StLocal(8, 8, r9)
+		omp.EmitTask(f, omp.TaskOpts{
+			Fn: "mt", PayloadBytes: 8, Fill: fillCounter(8),
+			Flags: ompt.FlagMergeable,
+		})
+		omp.Taskwait(f)
+		f.Line(16)
+		f.LoadSym(r1, "x_v")
+		f.Ld(8, r2, r1, 0)
+		f.St(8, r1, 0, r2)
+	})
+	emitMain(b, file)
+	return b
+}
+
+// 131/132: out(x) task vs parent read, without/with taskwait.
+func taskdep4(file string, wait bool) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	b.Global("out", 8)
+	globalWriter(b, "t1", file, 10, "x_v", 1)
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "x_v")}})
+		if wait {
+			omp.Taskwait(f)
+		}
+		f.Line(14)
+		f.LoadSym(r1, "x_v")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "out")
+		f.St(8, r1, 0, r2)
+		if !wait {
+			omp.Taskwait(f)
+		}
+	})
+	emitMain(b, file)
+	return b
+}
+
+func b131() *gbuild.Builder { return taskdep4("d131.c", false) }
+func b132() *gbuild.Builder { return taskdep4("d132.c", true) }
+
+// 133/134: two dependent tasks vs parent reads, with/without the wait
+// covering the second task.
+func taskdep5(file string, racy bool) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	b.Global("y_v", 8)
+	b.Global("out", 8)
+	globalWriter(b, "t1", file, 10, "x_v", 1)
+	globalWriter(b, "t2", file, 13, "y_v", 2)
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "x_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "y_v")}})
+		if !racy {
+			omp.Taskwait(f)
+		}
+		f.Line(17)
+		f.LoadSym(r1, "y_v") // reads y: races with t2 when not waited
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "out")
+		f.St(8, r1, 0, r2)
+		if racy {
+			omp.Taskwait(f)
+		}
+	})
+	emitMain(b, file)
+	return b
+}
+
+func b133() *gbuild.Builder { return taskdep5("d133.c", false) }
+func b134() *gbuild.Builder { return taskdep5("d134.c", true) }
+
+// 135: two mutexinoutset increments — mutually exclusive, commutative:
+// no race. Tools ignoring the dependence type (ROMP) report one.
+func b135() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	globalCopier(b, "t1", "d135.c", 10, "x_v", "x_v", 1)
+	globalCopier(b, "t2", "d135.c", 13, "x_v", "x_v", 2)
+	singleMicro(b, "d135.c", 0, func(f *gbuild.Func) {
+		mx := []omp.Dep{omp.DepSym(ompt.DepMutexinoutset, "x_v")}
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1", Deps: mx})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2", Deps: mx})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d135.c")
+	return b
+}
+
+// 136: one increment forgot the mutexinoutset — a real race.
+func b136() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("x_v", 8)
+	globalCopier(b, "t1", "d136.c", 10, "x_v", "x_v", 1)
+	globalCopier(b, "t2", "d136.c", 13, "x_v", "x_v", 2)
+	singleMicro(b, "d136.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t1",
+			Deps: []omp.Dep{omp.DepSym(ompt.DepMutexinoutset, "x_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "t2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d136.c")
+	return b
+}
+
+// 165: OpenMP 5.0 `taskwait depend(in: ii)` waits only for the ii writer;
+// the parent then reads jj, racing with the jj task. Tools over-modelling
+// the dependent taskwait as a full taskwait (Archer) miss it.
+func b165() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("ii", 8)
+	b.Global("jj", 8)
+	b.Global("kk", 8)
+	// ti computes for a while before writing ii, so the dependent
+	// taskwait (which waits only for ti) outlives tj's execution — the
+	// schedule under which Archer's over-synchronized modelling of
+	// `taskwait depend` acquires tj's completion and goes blind.
+	slowWriter(b, "ti", "d165.c", 10, "ii", 1)
+	globalWriter(b, "tj", "d165.c", 13, "jj", 2)
+	singleMicro(b, "d165.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ti", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "ii")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "tj", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "jj")}})
+		omp.TaskwaitDeps(f, []omp.Dep{omp.DepSym(ompt.DepIn, "ii")})
+		f.Line(17)
+		f.LoadSym(r1, "ii")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "jj") // racy read: only ii was waited for
+		f.Ld(8, r3, r1, 0)
+		f.Add(r2, r2, r3)
+		f.LoadSym(r1, "kk")
+		f.St(8, r1, 0, r2)
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d165.c")
+	return b
+}
+
+// 166: same shape but the parent only reads ii — covered by the dependent
+// taskwait.
+func b166() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("ii", 8)
+	b.Global("jj", 8)
+	b.Global("kk", 8)
+	globalWriter(b, "ti", "d166.c", 10, "ii", 1)
+	globalWriter(b, "tj", "d166.c", 13, "jj", 2)
+	singleMicro(b, "d166.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ti", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "ii")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "tj", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "jj")}})
+		omp.TaskwaitDeps(f, []omp.Dep{omp.DepSym(ompt.DepIn, "ii")})
+		f.Line(17)
+		f.LoadSym(r1, "ii")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "kk")
+		f.St(8, r1, 0, r2)
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d166.c")
+	return b
+}
+
+// 167: the dependent taskwait is followed by a full taskwait before the
+// reads — fully ordered.
+func b167() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("ii", 8)
+	b.Global("jj", 8)
+	b.Global("kk", 8)
+	globalWriter(b, "ti", "d167.c", 10, "ii", 1)
+	globalWriter(b, "tj", "d167.c", 13, "jj", 2)
+	singleMicro(b, "d167.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ti", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "ii")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "tj", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "jj")}})
+		omp.TaskwaitDeps(f, []omp.Dep{omp.DepSym(ompt.DepIn, "ii")})
+		omp.Taskwait(f)
+		f.Line(18)
+		f.LoadSym(r1, "ii")
+		f.Ld(8, r2, r1, 0)
+		f.LoadSym(r1, "jj")
+		f.Ld(8, r3, r1, 0)
+		f.Add(r2, r2, r3)
+		f.LoadSym(r1, "kk")
+		f.St(8, r1, 0, r2)
+	})
+	emitMain(b, "d167.c")
+	return b
+}
+
+// 168: the parent writes jj while a task created *after* the dependent
+// taskwait also writes jj — a race nothing covers.
+func b168() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("ii", 8)
+	b.Global("jj", 8)
+	globalWriter(b, "ti", "d168.c", 10, "ii", 1)
+	globalWriter(b, "tj", "d168.c", 13, "jj", 2)
+	singleMicro(b, "d168.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ti", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "ii")}})
+		omp.TaskwaitDeps(f, []omp.Dep{omp.DepSym(ompt.DepIn, "ii")})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "tj", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "jj")}})
+		f.Line(17)
+		f.LoadSym(r1, "jj") // races with tj
+		f.Ldi(r2, 3)
+		f.St(8, r1, 0, r2)
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d168.c")
+	return b
+}
+
+// outerWithChild defines an outer task that creates a child with a
+// dependence and taskwaits it.
+func outerWithChild(b *gbuild.Builder, outer, child, file string, line int, deps func() []omp.Dep) {
+	f := b.Func(outer, file)
+	f.Line(line)
+	f.Enter(0)
+	omp.EmitTask(f, omp.TaskOpts{Fn: child, Deps: deps()})
+	omp.Taskwait(f)
+	f.Leave()
+}
+
+// 173: dependences between non-sibling tasks do not synchronize (OpenMP
+// scopes them to siblings): the two grandchildren race. Tools that match
+// dependence addresses globally (TaskSanitizer, Archer's TSan annotations,
+// ROMP) think they are ordered: FN.
+func b173() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("v_v", 8)
+	globalWriter(b, "c1", "d173.c", 12, "v_v", 1)
+	globalWriter(b, "c2", "d173.c", 18, "v_v", 2)
+	outerWithChild(b, "o1", "c1", "d173.c", 10, func() []omp.Dep {
+		return []omp.Dep{omp.DepSym(ompt.DepOut, "v_v")}
+	})
+	outerWithChild(b, "o2", "c2", "d173.c", 16, func() []omp.Dep {
+		return []omp.Dep{omp.DepSym(ompt.DepIn, "v_v")}
+	})
+	singleMicro(b, "d173.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o1"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d173.c")
+	return b
+}
+
+// 174: the no-race variant — the outer tasks themselves carry the
+// dependence, so the grandchildren are transitively ordered.
+func b174() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("v_v", 8)
+	b.Global("w_v", 8)
+	globalWriter(b, "c1", "d174.c", 12, "v_v", 1)
+	globalWriter(b, "c2", "d174.c", 18, "v_v", 2)
+	outerWithChild(b, "o1", "c1", "d174.c", 10, func() []omp.Dep { return nil })
+	outerWithChild(b, "o2", "c2", "d174.c", 16, func() []omp.Dep { return nil })
+	singleMicro(b, "d174.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o1", Deps: []omp.Dep{omp.DepSym(ompt.DepOut, "w_v")}})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o2", Deps: []omp.Dep{omp.DepSym(ompt.DepIn, "w_v")}})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d174.c")
+	return b
+}
+
+// 175: the grandchildren's dependences name different array slots, so even
+// global matching adds no edge — the race on v stays visible.
+func b175() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("v_v", 8)
+	b.Global("a_arr", 16)
+	globalWriter(b, "c1", "d175.c", 12, "v_v", 1)
+	globalWriter(b, "c2", "d175.c", 18, "v_v", 2)
+	outerWithChild(b, "o1", "c1", "d175.c", 10, func() []omp.Dep {
+		return []omp.Dep{omp.DepSymOff(ompt.DepOut, "a_arr", 0)}
+	})
+	outerWithChild(b, "o2", "c2", "d175.c", 16, func() []omp.Dep {
+		return []omp.Dep{omp.DepSymOff(ompt.DepIn, "a_arr", 8)}
+	})
+	singleMicro(b, "d175.c", 0, func(f *gbuild.Func) {
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o1"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "o2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "d175.c")
+	return b
+}

@@ -1,0 +1,207 @@
+package drb
+
+import (
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// tmbSuite builds the seven Taskgrind-specific microbenchmarks (TMB) that
+// target the heavyweight-DBI pitfalls of §IV. Every TMB program carries the
+// §V-B "assume deferrable" annotation so that single-thread (serialized)
+// executions still expose the code's task semantics to Taskgrind —
+// "ensures the tool captures the code semantic and not implementation
+// specific behavior".
+func tmbSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "1000-memory-recycling_1", Race: false, TMB: true, Build: t1000},
+		{Name: "1001-stack_1", Race: true, TMB: true, Build: t1001},
+		{Name: "1002-stack_2", Race: false, TMB: true, Build: t1002},
+		{Name: "1003-stack_3", Race: false, TMB: true, Build: t1003},
+		{Name: "1004-stack_4", Race: true, TMB: true, Build: t1004},
+		{Name: "1005-stack_5", Race: false, TMB: true, Build: t1005},
+		{Name: "1006-tls_1", Race: false, TMB: true, Build: t1006},
+	}
+}
+
+// annotatedSingleMicro is singleMicro with the §V-B annotation up front.
+func annotatedSingleMicro(b *gbuild.Builder, file string, localBytes int32, body func(f *gbuild.Func)) {
+	f := b.Func("micro", file)
+	f.Enter(localBytes)
+	omp.AssumeDeferrable(f, true)
+	omp.SingleNowait(f, func() { body(f) })
+	f.Leave()
+}
+
+// 1000: each task mallocs, writes, reads back and frees a block (paper
+// Listing 1). The system allocator recycles freed blocks, so independent
+// tasks alias the same address — unless the tool neutralizes free (§IV-B).
+func t1000() *gbuild.Builder {
+	b := omp.NewProgram()
+	f := b.Func("body", "t1000.c")
+	f.Line(7)
+	f.Enter(16)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.StLocal(8, 8, r0)
+	f.Line(8)
+	f.Ldi(r1, 7)
+	f.St(8, r0, 0, r1)
+	f.Ld(8, r2, r0, 0)
+	f.Line(9)
+	f.LdLocal(8, r0, 8)
+	f.Hcall("free")
+	f.Leave()
+	annotatedSingleMicro(b, "t1000.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 4, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1000.c")
+	return b
+}
+
+// 1001: two tasks write a variable on the parent's stack frame — a real
+// race. Thread-centric tools are blind to it when both tasks run on one
+// thread (Listing 3's racy sibling).
+func t1001() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("xa", 8)
+	derefWriter(b, "w1", "t1001.c", 9, "xa", 1)
+	derefWriter(b, "w2", "t1001.c", 12, "xa", 2)
+	annotatedSingleMicro(b, "t1001.c", 16, func(f *gbuild.Func) {
+		publishLocal(f, 8, "xa")
+		omp.EmitTask(f, omp.TaskOpts{Fn: "w1"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "w2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1001.c")
+	return b
+}
+
+// 1002: paper Listing 3 — each task writes its *own* stack local; on one
+// thread the locals land at the same address (frame reuse). Segment-local:
+// must be suppressed by the §IV-D registered-frame check.
+func t1002() *gbuild.Builder {
+	b := omp.NewProgram()
+	f := b.Func("body", "t1002.c")
+	f.Line(8)
+	f.Enter(16)
+	f.Ldi(r1, 1)
+	f.StLocal(8, 8, r1) // int x = 1 (segment-local)
+	f.LdLocal(8, r2, 8)
+	f.Addi(r2, r2, 1)
+	f.StLocal(8, 8, r2)
+	f.Leave()
+	annotatedSingleMicro(b, "t1002.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 2, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1002.c")
+	return b
+}
+
+// deepHelper writes a buffer deep inside its own (large) frame; the
+// conflicting addresses sit far below the task's registered frame, past the
+// reach of tools that only track the immediate task frame.
+func deepHelper(b *gbuild.Builder, name, file string, frame int32) {
+	f := b.Func(name, file)
+	f.Line(20)
+	f.Enter(frame)
+	for off := frame - 64; off <= frame-8; off += 8 {
+		f.Ldi(r1, 3)
+		f.StLocal(8, off, r1)
+	}
+	f.Leave()
+}
+
+// 1003: tasks call a helper with a 512-byte frame — still segment-local,
+// still no race; a bounded stack tracker (TaskSanitizer) reports it.
+func t1003() *gbuild.Builder {
+	b := omp.NewProgram()
+	deepHelper(b, "helper", "t1003.c", 512)
+	f := b.Func("body", "t1003.c")
+	f.Line(8)
+	f.Enter(0)
+	f.Call("helper")
+	f.Leave()
+	annotatedSingleMicro(b, "t1003.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 2, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1003.c")
+	return b
+}
+
+// 1004: two deferred tasks and an if(0) task between them, all writing the
+// same parent-stack variable — racy even under serialization: the if(0)
+// task is ordered against neither deferred sibling, and the deferred pair
+// is unordered under real concurrency.
+func t1004() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("ya", 8)
+	derefWriter(b, "w0", "t1004.c", 8, "ya", 1)
+	derefWriter(b, "w1", "t1004.c", 11, "ya", 2)
+	derefWriter(b, "w2", "t1004.c", 14, "ya", 3)
+	annotatedSingleMicro(b, "t1004.c", 16, func(f *gbuild.Func) {
+		publishLocal(f, 8, "ya")
+		omp.EmitTask(f, omp.TaskOpts{Fn: "w0"})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "w1", Flags: ompt.FlagIfZero})
+		omp.EmitTask(f, omp.TaskOpts{Fn: "w2"})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1004.c")
+	return b
+}
+
+// 1005: like 1003 through two call levels (the reuse happens in a
+// grand-callee frame).
+func t1005() *gbuild.Builder {
+	b := omp.NewProgram()
+	deepHelper(b, "leaf", "t1005.c", 768)
+	f := b.Func("mid", "t1005.c")
+	f.Enter(64)
+	f.Call("leaf")
+	f.Leave()
+	f = b.Func("body", "t1005.c")
+	f.Line(8)
+	f.Enter(0)
+	f.Call("mid")
+	f.Leave()
+	annotatedSingleMicro(b, "t1005.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 2, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1005.c")
+	return b
+}
+
+// 1006: tasks update a _Thread_local variable — tasks on the same thread
+// alias the same TLS slot. Suppressed only by tools recording TCB/DTV
+// state (§IV-C).
+func t1006() *gbuild.Builder {
+	b := omp.NewProgram()
+	off := int32(b.TLSGlobal("tls_x", 8))
+	f := b.Func("body", "t1006.c")
+	f.Line(8)
+	f.Ld(8, r1, guest.TP, off)
+	f.Addi(r1, r1, 1)
+	f.St(8, guest.TP, off, r1)
+	f.Ret()
+	annotatedSingleMicro(b, "t1006.c", 16, func(f *gbuild.Func) {
+		emitLoop(f, 8, 8, func() {
+			omp.EmitTask(f, omp.TaskOpts{Fn: "body"})
+		})
+		omp.Taskwait(f)
+	})
+	emitMain(b, "t1006.c")
+	return b
+}

@@ -1,0 +1,173 @@
+package drb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of Table I: a benchmark at a thread count with the four
+// tool verdicts in the paper's column order.
+type Row struct {
+	Name     string
+	Race     bool
+	Threads  int
+	Verdicts [NumTools]Verdict
+}
+
+// PaperRow is the corresponding row of the paper's Table I.
+type PaperRow struct {
+	Name     string
+	Threads  int // 0 for DRB rows (paper runs them at OMP_NUM_THREADS=4)
+	Verdicts [NumTools]Verdict
+}
+
+// PaperTableI encodes the published Table I (TaskSanitizer, Archer, ROMP,
+// Taskgrind). Archer's "FN/TP" on 1001@4 is encoded as TP (schedule-
+// dependent; our any-seed harness corresponds to the TP reading).
+var PaperTableI = []PaperRow{
+	{"027-taskdependmissing-orig", 4, [NumTools]Verdict{TP, FN, TP, TP}},
+	{"072-taskdep1-orig", 4, [NumTools]Verdict{TN, TN, TN, TN}},
+	{"078-taskdep2-orig", 4, [NumTools]Verdict{TN, TN, TN, FP}},
+	{"079-taskdep3-orig", 4, [NumTools]Verdict{NCS, TN, TN, FP}},
+	{"095-doall2-taskloop-orig", 4, [NumTools]Verdict{NCS, TP, TP, TP}},
+	{"096-doall2-taskloop-collapse-orig", 4, [NumTools]Verdict{NCS, TN, TN, FP}},
+	{"100-task-reference-orig", 4, [NumTools]Verdict{NCS, FP, TN, FP}},
+	{"101-task-value-orig", 4, [NumTools]Verdict{FP, FP, TN, FP}},
+	{"106-taskwaitmissing-orig", 4, [NumTools]Verdict{TP, TP, TP, TP}},
+	{"107-taskgroup-orig", 4, [NumTools]Verdict{FP, TN, TN, FP}},
+	{"122-taskundeferred-orig", 4, [NumTools]Verdict{FP, TN, FP, TN}},
+	{"123-taskundeferred-orig", 4, [NumTools]Verdict{TP, TP, TP, TP}},
+	{"127-tasking-threadprivate1-orig", 4, [NumTools]Verdict{NCS, TN, SEGV, FP}},
+	{"128-tasking-threadprivate2-orig", 4, [NumTools]Verdict{NCS, TN, TN, FP}},
+	{"129-mergeable-taskwait-orig", 4, [NumTools]Verdict{NCS, FN, FN, FN}},
+	{"130-mergeable-taskwait-orig", 4, [NumTools]Verdict{NCS, TN, TN, TN}},
+	{"131-taskdep4-orig-omp45", 4, [NumTools]Verdict{NCS, TP, TP, TP}},
+	{"132-taskdep4-orig-omp45", 4, [NumTools]Verdict{NCS, TN, TN, TN}},
+	{"133-taskdep5-orig-omp45", 4, [NumTools]Verdict{NCS, TN, TN, TN}},
+	{"134-taskdep5-orig-omp45", 4, [NumTools]Verdict{NCS, TP, TP, TP}},
+	{"135-taskdep-mutexinoutset-orig", 4, [NumTools]Verdict{NCS, TN, FP, TN}},
+	{"136-taskdep-mutexinoutset-orig", 4, [NumTools]Verdict{TP, TP, TP, TP}},
+	{"165-taskdep4-orig-omp50", 4, [NumTools]Verdict{NCS, FN, TP, TP}},
+	{"166-taskdep4-orig-omp50", 4, [NumTools]Verdict{NCS, TN, TN, TN}},
+	{"167-taskdep4-orig-omp50", 4, [NumTools]Verdict{NCS, TN, TN, TN}},
+	{"168-taskdep5-orig-omp50", 4, [NumTools]Verdict{NCS, TP, TP, TP}},
+	{"173-non-sibling-taskdep", 4, [NumTools]Verdict{FN, FN, FN, TP}},
+	{"174-non-sibling-taskdep", 4, [NumTools]Verdict{FP, TN, TN, FP}},
+	{"175-non-sibling-taskdep2", 4, [NumTools]Verdict{FN, TP, TP, TP}},
+	{"1000-memory-recycling_1", 1, [NumTools]Verdict{TN, TN, TN, TN}},
+	{"1001-stack_1", 1, [NumTools]Verdict{TP, FN, FN, TP}},
+	{"1002-stack_2", 1, [NumTools]Verdict{TN, TN, TN, TN}},
+	{"1003-stack_3", 1, [NumTools]Verdict{FP, TN, TN, TN}},
+	{"1004-stack_4", 1, [NumTools]Verdict{TP, FN, TP, TP}},
+	{"1005-stack_5", 1, [NumTools]Verdict{FP, TN, TN, TN}},
+	{"1006-tls_1", 1, [NumTools]Verdict{FP, TN, TN, TN}},
+	{"1000-memory-recycling_1", 4, [NumTools]Verdict{TN, TN, TN, FP}},
+	{"1001-stack_1", 4, [NumTools]Verdict{TP, TP, TP, TP}},
+	{"1002-stack_2", 4, [NumTools]Verdict{TN, TN, TN, FP}},
+	{"1003-stack_3", 4, [NumTools]Verdict{TN, TN, TN, TN}},
+	{"1004-stack_4", 4, [NumTools]Verdict{TP, TP, TP, TP}},
+	{"1005-stack_5", 4, [NumTools]Verdict{TN, TN, TN, TN}},
+	{"1006-tls_1", 4, [NumTools]Verdict{FP, TN, TN, FP}},
+}
+
+// GenerateTableI runs the full suite under all four tools and returns the
+// measured rows in paper order: DRB at 4 threads, then TMB at 1 and at 4.
+func GenerateTableI(seeds []uint64) ([]Row, error) {
+	var rows []Row
+	addRows := func(benchmarks []Benchmark, threads int) error {
+		for _, b := range benchmarks {
+			row := Row{Name: b.Name, Race: b.Race, Threads: threads}
+			for tool := Tool(0); tool < NumTools; tool++ {
+				v, err := VerdictOf(b, tool, threads, seeds)
+				if err != nil {
+					return err
+				}
+				row.Verdicts[tool] = v
+			}
+			rows = append(rows, row)
+		}
+		return nil
+	}
+	if err := addRows(drbSuite(), 4); err != nil {
+		return nil, err
+	}
+	if err := addRows(tmbSuite(), 1); err != nil {
+		return nil, err
+	}
+	if err := addRows(tmbSuite(), 4); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatTableI renders measured rows next to the paper's cells, flagging
+// mismatches.
+func FormatTableI(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %-5s %-3s | %-13s %-9s %-9s %-9s\n",
+		"Benchmark", "race", "thr", "TaskSanitizer", "Archer", "ROMP", "Taskgrind")
+	match, total := 0, 0
+	for _, r := range rows {
+		race := "no"
+		if r.Race {
+			race = "yes"
+		}
+		fmt.Fprintf(&sb, "%-36s %-5s %-3d |", r.Name, race, r.Threads)
+		paper := paperRowFor(r.Name, r.Threads)
+		for tool := Tool(0); tool < NumTools; tool++ {
+			cell := r.Verdicts[tool].String()
+			if paper != nil {
+				total++
+				if paper.Verdicts[tool] == r.Verdicts[tool] {
+					match++
+				} else {
+					cell += "(" + paper.Verdicts[tool].String() + ")"
+				}
+			}
+			width := []int{13, 9, 9, 9}[tool]
+			fmt.Fprintf(&sb, " %-*s", width, cell)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "cells matching the paper: %d/%d (mismatches show the paper's value in parentheses)\n", match, total)
+	return sb.String()
+}
+
+func paperRowFor(name string, threads int) *PaperRow {
+	for i := range PaperTableI {
+		p := &PaperTableI[i]
+		if p.Name == name && (p.Threads == threads || (!strings.HasPrefix(name, "1") && threads == 4)) {
+			return p
+		}
+	}
+	return nil
+}
+
+// MatchStats counts agreement with the paper per tool.
+func MatchStats(rows []Row) (perTool [NumTools][2]int) {
+	for _, r := range rows {
+		paper := paperRowFor(r.Name, r.Threads)
+		if paper == nil {
+			continue
+		}
+		for tool := Tool(0); tool < NumTools; tool++ {
+			perTool[tool][1]++
+			if paper.Verdicts[tool] == r.Verdicts[tool] {
+				perTool[tool][0]++
+			}
+		}
+	}
+	return perTool
+}
+
+// FalseNegatives counts FN cells for a tool in measured rows (the paper's
+// headline metric).
+func FalseNegatives(rows []Row, tool Tool) int {
+	n := 0
+	for _, r := range rows {
+		if r.Verdicts[tool] == FN {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+// Package explore runs a program under a tool across many scheduler seeds
+// and aggregates the report counts — the methodology behind the paper's
+// Table II row "149 to 273" for Archer: online detectors see only the
+// schedule that actually ran, so their counts vary run to run, while
+// Taskgrind's post-mortem segment analysis is schedule-independent.
+//
+// Runs execute in parallel on host goroutines (each owns an isolated guest
+// machine), one of the places real Go parallelism is sound in this
+// repository.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gbuild"
+	"repro/internal/harness"
+	"repro/internal/tools/toolreg"
+)
+
+// Outcome aggregates one (program, tool) exploration.
+type Outcome struct {
+	Tool  string
+	Seeds int
+	// Counts holds the per-seed report counts, indexed like the seeds.
+	Counts []int
+	// Min/Max/Distinct summarize schedule sensitivity.
+	Min, Max int
+	Distinct int
+	// DetectionRate is the fraction of seeds with at least one report.
+	DetectionRate float64
+}
+
+// Stable reports whether every seed produced the same count.
+func (o Outcome) Stable() bool { return o.Distinct <= 1 }
+
+// String renders a Table-II-style range.
+func (o Outcome) String() string {
+	if o.Min == o.Max {
+		return fmt.Sprintf("%s: %d report(s) across %d schedules (stable)", o.Tool, o.Min, o.Seeds)
+	}
+	return fmt.Sprintf("%s: %d to %d report(s) across %d schedules (%d distinct, %.0f%% detecting)",
+		o.Tool, o.Min, o.Max, o.Seeds, o.Distinct, o.DetectionRate*100)
+}
+
+// Run explores nseeds schedules (seeds 1..n) with up to workers concurrent
+// machines. build must return a fresh builder per call (builders are
+// single-link).
+func Run(build func() *gbuild.Builder, tool string, threads, nseeds, workers int) (Outcome, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	errs := make([]error, nseeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < nseeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tl, count, err := toolreg.Make(tool)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, _, err := harness.BuildAndRun(build(), harness.Setup{
+				Tool: tl, Seed: uint64(i + 1), Threads: threads,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Err != nil {
+				errs[i] = res.Err
+				return
+			}
+			out.Counts[i] = count()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	sorted := append([]int(nil), out.Counts...)
+	sort.Ints(sorted)
+	out.Min, out.Max = sorted[0], sorted[len(sorted)-1]
+	distinct := map[int]bool{}
+	detecting := 0
+	for _, c := range out.Counts {
+		distinct[c] = true
+		if c > 0 {
+			detecting++
+		}
+	}
+	out.Distinct = len(distinct)
+	out.DetectionRate = float64(detecting) / float64(nseeds)
+	return out, nil
+}

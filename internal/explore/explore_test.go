@@ -1,0 +1,114 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/gbuild"
+	"repro/internal/lulesh"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+func racyLulesh() *gbuild.Builder {
+	b, err := lulesh.Build(lulesh.Params{S: 6, TEL: 4, TNL: 4, Iters: 2, Racy: true})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestTaskgrindScheduleIndependent: the post-mortem segment analysis finds
+// the same count under every schedule — the property that distinguishes it
+// from online detectors in Table II.
+func TestTaskgrindScheduleIndependent(t *testing.T) {
+	out, err := explore.Run(racyLulesh, "taskgrind", 4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stable() {
+		t.Fatalf("taskgrind counts vary: %v", out.Counts)
+	}
+	if out.Min == 0 {
+		t.Fatal("taskgrind found nothing on racy LULESH")
+	}
+	if !strings.Contains(out.String(), "stable") {
+		t.Errorf("summary: %s", out)
+	}
+}
+
+// TestArcherScheduleSensitive: the online vector-clock detector's counts
+// depend on which interleaving ran — the "149 to 273" phenomenon.
+func TestArcherScheduleSensitive(t *testing.T) {
+	// A program with many racing task pairs gives Archer room to vary:
+	// which pairs actually collide depends on stealing.
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("g", 8*4)
+		for i, name := range []string{"wa", "wb", "wc", "wd"} {
+			f := b.Func(name, "var.c")
+			f.Line(5 + i)
+			for j := int32(0); j < 4; j++ {
+				f.LoadSym(1, "g")
+				f.Ld(8, 2, 1, j*8)
+				f.Addi(2, 2, 1)
+				f.St(8, 1, j*8, 2)
+			}
+			f.Ret()
+		}
+		f := b.Func("micro", "var.c")
+		f.Enter(0)
+		fn := f
+		omp.SingleNowait(f, func() {
+			for _, name := range []string{"wa", "wb", "wc", "wd"} {
+				omp.EmitTask(fn, omp.TaskOpts{Fn: name})
+			}
+			omp.Taskwait(fn)
+		})
+		f.Leave()
+		f = b.Func("main", "var.c")
+		f.Enter(0)
+		f.Ldi(1, 0)
+		omp.Parallel(f, "micro", 1, 4)
+		f.Ldi(0, 0)
+		f.Hlt(0)
+		_ = ompt.DepIn
+		return b
+	}
+	out, err := explore.Run(build, "archer", 4, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Max == 0 {
+		t.Fatal("archer never detected anything")
+	}
+	if out.Stable() {
+		t.Logf("archer unexpectedly stable at %d (acceptable but unusual): %v", out.Min, out.Counts)
+	}
+}
+
+// TestParallelWorkersMatchSerial: concurrency in the harness must not
+// change results.
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	par, err := explore.Run(racyLulesh, "taskgrind", 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := explore.Run(racyLulesh, "taskgrind", 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Counts {
+		if par.Counts[i] != ser.Counts[i] {
+			t.Fatalf("worker parallelism changed results: %v vs %v", par.Counts, ser.Counts)
+		}
+	}
+}
+
+// TestBadToolPropagates.
+func TestBadToolPropagates(t *testing.T) {
+	if _, err := explore.Run(racyLulesh, "nonesuch", 4, 2, 2); err == nil {
+		t.Fatal("unknown tool accepted")
+	}
+}

@@ -1,0 +1,543 @@
+// Package gasm is a textual assembler for the guest ISA: it parses a simple
+// assembly dialect into a gbuild program, so new analysis targets can be
+// written as .s files and run under any tool via cmd/taskgrind -asm.
+//
+// Syntax overview (see the package tests for complete programs):
+//
+//	; comment                     # comment
+//	.file "prog.c"                source file for debug info
+//	.global name size             zero-initialized data object
+//	.string name "text"           NUL-terminated string
+//	.word name v1 [v2 ...]        initialized 64-bit words
+//	.tls name size                thread-local object (addressed off tp)
+//	.entry name                   entry function (default main)
+//	.runtime omp                  link the OpenMP guest prelude (__kmpc_*)
+//	.runtime qthreads             link the Qthreads FEB wrappers
+//
+//	func name:                    open a function
+//	.line N                       line directive
+//	label:                        local label
+//	  ldi r0, 42                  mnemonics mirror internal/guest
+//	  la  r1, name                load symbol address (pseudo)
+//	  ld64 r2, [r1+8]             loads/stores use [reg+offset]
+//	  st32 [sp-4], r2
+//	  beq r0, r1, label           branches name local labels
+//	  call fn                     jal to a function
+//	  hcall malloc                host call by name
+//	  creq 0x4f10                 client request
+//	  enter 16 / leave            frame pseudos
+//	  push r1 / pop r1
+//	  ret / hlt r0
+package gasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+	"repro/internal/qthreads"
+)
+
+// Assemble parses source into a linked image-ready builder.
+func Assemble(src string) (*gbuild.Builder, error) {
+	a := &asm{
+		b:      gbuild.New(),
+		labels: map[string]gbuild.Label{},
+		file:   "asm.s",
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.lineNo = i + 1
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("gasm: line %d: %w", a.lineNo, err)
+		}
+	}
+	return a.b, nil
+}
+
+type asm struct {
+	b      *gbuild.Builder
+	f      *gbuild.Func
+	labels map[string]gbuild.Label
+	file   string
+	lineNo int
+}
+
+func (a *asm) line(raw string) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		// Keep ; or # inside string literals.
+		if q := strings.Index(raw, `"`); q < 0 || q > i {
+			raw = raw[:i]
+		}
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(s, ".file"):
+		name, err := quoted(s[len(".file"):])
+		if err != nil {
+			return err
+		}
+		a.file = name
+		return nil
+	case strings.HasPrefix(s, ".global"):
+		fs := strings.Fields(s)
+		if len(fs) != 3 {
+			return fmt.Errorf(".global wants: name size")
+		}
+		size, err := strconv.ParseUint(fs[2], 0, 32)
+		if err != nil {
+			return err
+		}
+		a.b.Global(fs[1], size)
+		return nil
+	case strings.HasPrefix(s, ".string"):
+		rest := strings.TrimSpace(s[len(".string"):])
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return fmt.Errorf(".string wants: name \"text\"")
+		}
+		text, err := quoted(rest[sp:])
+		if err != nil {
+			return err
+		}
+		a.b.GlobalString(rest[:sp], text)
+		return nil
+	case strings.HasPrefix(s, ".tls"):
+		fs := strings.Fields(s)
+		if len(fs) != 3 {
+			return fmt.Errorf(".tls wants: name size")
+		}
+		size, err := strconv.ParseUint(fs[2], 0, 32)
+		if err != nil {
+			return err
+		}
+		a.b.TLSGlobal(fs[1], size)
+		return nil
+	case strings.HasPrefix(s, ".word"):
+		fs := strings.Fields(s)
+		if len(fs) < 3 {
+			return fmt.Errorf(".word wants: name v1 [v2 ...]")
+		}
+		buf := make([]byte, 8*(len(fs)-2))
+		for i, tok := range fs[2:] {
+			v, err := strconv.ParseInt(tok, 0, 64)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < 8; j++ {
+				buf[i*8+j] = byte(uint64(v) >> (8 * j))
+			}
+		}
+		a.b.GlobalInit(fs[1], buf)
+		return nil
+	case strings.HasPrefix(s, ".runtime"):
+		fs := strings.Fields(s)
+		if len(fs) != 2 {
+			return fmt.Errorf(".runtime wants: omp|qthreads")
+		}
+		switch fs[1] {
+		case "omp":
+			omp.EmitPrelude(a.b)
+		case "qthreads":
+			qthreads.EmitPrelude(a.b)
+		default:
+			return fmt.Errorf("unknown runtime %q", fs[1])
+		}
+		return nil
+	case strings.HasPrefix(s, ".entry"):
+		fs := strings.Fields(s)
+		if len(fs) != 2 {
+			return fmt.Errorf(".entry wants: name")
+		}
+		a.b.SetEntry(fs[1])
+		return nil
+	case strings.HasPrefix(s, ".line"):
+		if a.f == nil {
+			return fmt.Errorf(".line outside a function")
+		}
+		fs := strings.Fields(s)
+		if len(fs) != 2 {
+			return fmt.Errorf(".line wants: number")
+		}
+		n, err := strconv.Atoi(fs[1])
+		if err != nil {
+			return err
+		}
+		a.f.Line(n)
+		return nil
+	case strings.HasPrefix(s, "func "):
+		name := strings.TrimSuffix(strings.TrimSpace(s[5:]), ":")
+		a.f = a.b.Func(name, a.file)
+		a.labels = map[string]gbuild.Label{}
+		return nil
+	case strings.HasSuffix(s, ":") && !strings.Contains(s, " "):
+		if a.f == nil {
+			return fmt.Errorf("label outside a function")
+		}
+		a.f.Bind(a.label(strings.TrimSuffix(s, ":")))
+		return nil
+	}
+	if a.f == nil {
+		return fmt.Errorf("instruction outside a function")
+	}
+	return a.instr(s)
+}
+
+// label interns a local label.
+func (a *asm) label(name string) gbuild.Label {
+	if l, ok := a.labels[name]; ok {
+		return l
+	}
+	l := a.f.NewLabel()
+	a.labels[name] = l
+	return l
+}
+
+// operands splits "r1, [sp+8], 42" into trimmed fields.
+func operands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// reg parses a register name.
+func reg(s string) (uint8, error) {
+	switch s {
+	case "sp":
+		return guest.SP, nil
+	case "fp":
+		return guest.FP, nil
+	case "lr":
+		return guest.LR, nil
+	case "tp":
+		return guest.TP, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < guest.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// imm parses an immediate (decimal, 0x hex, negative, 'c' char).
+func imm(s string) (int64, error) {
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// memOperand parses "[reg+off]" / "[reg-off]" / "[reg]".
+func memOperand(s string) (uint8, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := reg(inner)
+		return r, 0, err
+	}
+	r, err := reg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := imm(strings.TrimSpace(inner[sep:]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, int32(off), nil
+}
+
+// alu3 maps three-register mnemonics.
+var alu3 = map[string]guest.Opcode{
+	"add": guest.OpAdd, "sub": guest.OpSub, "mul": guest.OpMul,
+	"div": guest.OpDiv, "rem": guest.OpRem, "and": guest.OpAnd,
+	"or": guest.OpOr, "xor": guest.OpXor, "shl": guest.OpShl,
+	"shr": guest.OpShr, "sar": guest.OpSar, "seq": guest.OpSeq,
+	"sne": guest.OpSne, "slt": guest.OpSlt, "sge": guest.OpSge,
+	"sltu": guest.OpSltu, "sgeu": guest.OpSgeu,
+	"fadd": guest.OpFadd, "fsub": guest.OpFsub, "fmul": guest.OpFmul,
+	"fdiv": guest.OpFdiv, "flt": guest.OpFlt, "fle": guest.OpFle,
+	"feq": guest.OpFeq,
+}
+
+// branches maps conditional-branch mnemonics.
+var branches = map[string]guest.Opcode{
+	"beq": guest.OpBeq, "bne": guest.OpBne, "blt": guest.OpBlt,
+	"bge": guest.OpBge, "bltu": guest.OpBltu, "bgeu": guest.OpBgeu,
+}
+
+// loads and stores by width.
+var ldWidth = map[string]uint8{"ld8": 1, "ld16": 2, "ld32": 4, "ld64": 8}
+var stWidth = map[string]uint8{"st8": 1, "st16": 2, "st32": 4, "st64": 8}
+
+func (a *asm) instr(s string) error {
+	sp := strings.IndexAny(s, " \t")
+	mnem, rest := s, ""
+	if sp >= 0 {
+		mnem, rest = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	ops := operands(rest)
+	f := a.f
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	if op, ok := alu3[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(ops[0])
+		rs1, e2 := reg(ops[1])
+		rs2, e3 := reg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		f.ALU(op, rd, rs1, rs2)
+		return nil
+	}
+	if op, ok := branches[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, e1 := reg(ops[0])
+		rs2, e2 := reg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		f.Br(op, rs1, rs2, a.label(ops[2]))
+		return nil
+	}
+	if w, ok := ldWidth[mnem]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(ops[0])
+		base, off, e2 := memOperand(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		f.Ld(w, rd, base, off)
+		return nil
+	}
+	if w, ok := stWidth[mnem]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, e1 := memOperand(ops[0])
+		rs, e2 := reg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		f.St(w, base, off, rs)
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		f.Nop()
+	case "ldi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(ops[1])
+		if err != nil {
+			return err
+		}
+		f.LdConst64(rd, uint64(v))
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.LoadSym(rd, ops[1])
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(ops[0])
+		rs, e2 := reg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		f.Mov(rd, rs)
+	case "addi", "muli", "andi", "ori":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(ops[0])
+		rs1, e2 := reg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		v, err := imm(ops[2])
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "addi":
+			f.Addi(rd, rs1, int32(v))
+		case "muli":
+			f.Muli(rd, rs1, int32(v))
+		case "andi":
+			f.Andi(rd, rs1, int32(v))
+		case "ori":
+			f.Ori(rd, rs1, int32(v))
+		}
+	case "itof", "ftoi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(ops[0])
+		rs, e2 := reg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		if mnem == "itof" {
+			f.Itof(rd, rs)
+		} else {
+			f.Ftoi(rd, rs)
+		}
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		f.Jmp(a.label(ops[0]))
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		f.Call(ops[0])
+	case "callr":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.CallReg(r)
+	case "ret":
+		f.Ret()
+	case "hcall":
+		if err := need(1); err != nil {
+			return err
+		}
+		f.Hcall(ops[0])
+	case "creq":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := imm(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Creq(int32(v))
+	case "hlt":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Hlt(r)
+	case "enter":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := imm(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Enter(int32(v))
+	case "leave":
+		f.Leave()
+	case "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Push(r)
+	case "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.Pop(r)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// quoted extracts a double-quoted string with \n \t \" \\ escapes.
+func quoted(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("want a quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				out.WriteByte('\n')
+			case 't':
+				out.WriteByte('\t')
+			case '"':
+				out.WriteByte('"')
+			case '\\':
+				out.WriteByte('\\')
+			default:
+				return "", fmt.Errorf("bad escape \\%c", body[i])
+			}
+			continue
+		}
+		out.WriteByte(c)
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,5 @@
+package gbuild
+
+import "math"
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

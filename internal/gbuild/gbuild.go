@@ -1,0 +1,579 @@
+// Package gbuild is the tool-chain back end for the guest ISA: a structured
+// assembler that builds binary program images (internal/guest.Image) with
+// symbol tables and line debug info.
+//
+// It plays the role of the compiler in the paper's setup: benchmark sources
+// are expressed through this builder, the result is a genuine guest binary,
+// and from that point on the DBI framework only ever sees instruction words.
+package gbuild
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Label is a forward-referenceable code location inside a function.
+type Label int
+
+// fixupKind says how a pending reference patches its instruction.
+type fixupKind uint8
+
+const (
+	fixImmLabel fixupKind = iota // imm <- absolute address of label
+	fixImmSym                    // imm <- absolute address of symbol
+	fixLdi64Sym                  // ldi/ldih pair <- address of symbol
+)
+
+type fixup struct {
+	instr int // index into Builder.text
+	kind  fixupKind
+	label Label
+	sym   string
+}
+
+// Builder accumulates functions and globals and links them into an Image.
+type Builder struct {
+	text    []guest.Instr
+	lines   []lineRec
+	symbols []guest.Symbol
+	fixups  []fixup
+
+	data      []byte
+	dataSyms  map[string]uint64 // name -> address
+	funcAddr  map[string]uint64 // name -> address (after Link)
+	funcOrder []string
+	funcsByNm map[string]*Func
+	hostIDs   map[string]int
+	hostNames []string
+	entry     string
+	linkErr   error
+
+	tlsOff  uint64
+	tlsSyms map[string]uint64
+}
+
+// TCBSize is the reserved thread-control-block header at the start of each
+// thread's TLS block; _Thread_local offsets start past it.
+const TCBSize = 64
+
+// TLSGlobal reserves a per-thread (_Thread_local) object and returns its
+// offset from the thread pointer (guest.TP).
+func (b *Builder) TLSGlobal(name string, size uint64) uint64 {
+	if b.tlsSyms == nil {
+		b.tlsSyms = make(map[string]uint64)
+		b.tlsOff = TCBSize
+	}
+	if _, dup := b.tlsSyms[name]; dup {
+		b.fail(fmt.Errorf("gbuild: duplicate TLS global %q", name))
+	}
+	off := (b.tlsOff + 7) &^ 7
+	b.tlsOff = off + size
+	b.tlsSyms[name] = off
+	return off
+}
+
+// TLSOffset returns the offset of a previously reserved TLS global.
+func (b *Builder) TLSOffset(name string) uint64 {
+	off, ok := b.tlsSyms[name]
+	if !ok {
+		b.fail(fmt.Errorf("gbuild: unknown TLS global %q", name))
+	}
+	return off
+}
+
+type lineRec struct {
+	instr int
+	file  string
+	line  int
+}
+
+// New creates an empty builder.
+func New() *Builder {
+	return &Builder{
+		dataSyms:  make(map[string]uint64),
+		funcAddr:  make(map[string]uint64),
+		funcsByNm: make(map[string]*Func),
+		hostIDs:   make(map[string]int),
+	}
+}
+
+// HostID interns a host-import name and returns its host-call number.
+func (b *Builder) HostID(name string) int {
+	if id, ok := b.hostIDs[name]; ok {
+		return id
+	}
+	id := len(b.hostNames)
+	b.hostIDs[name] = id
+	b.hostNames = append(b.hostNames, name)
+	return id
+}
+
+// Global reserves a zero-initialized data object of the given size, 8-byte
+// aligned, and returns its address.
+func (b *Builder) Global(name string, size uint64) uint64 {
+	return b.GlobalInit(name, make([]byte, size))
+}
+
+// GlobalInit places an initialized data object and returns its address.
+func (b *Builder) GlobalInit(name string, init []byte) uint64 {
+	for len(b.data)%8 != 0 {
+		b.data = append(b.data, 0)
+	}
+	addr := guest.DataBase + uint64(len(b.data))
+	b.data = append(b.data, init...)
+	if name != "" {
+		if _, dup := b.dataSyms[name]; dup {
+			b.fail(fmt.Errorf("gbuild: duplicate global %q", name))
+		}
+		b.dataSyms[name] = addr
+		b.symbols = append(b.symbols, guest.Symbol{
+			Name: name, Addr: addr, Size: uint64(len(init)), Kind: guest.SymObject,
+		})
+	}
+	return addr
+}
+
+// GlobalU64 places a little-endian uint64 global.
+func (b *Builder) GlobalU64(name string, v uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return b.GlobalInit(name, buf[:])
+}
+
+// GlobalString places a NUL-terminated string and returns its address.
+func (b *Builder) GlobalString(name, s string) uint64 {
+	return b.GlobalInit(name, append([]byte(s), 0))
+}
+
+// DataAddr returns the address of a previously placed global.
+func (b *Builder) DataAddr(name string) uint64 {
+	a, ok := b.dataSyms[name]
+	if !ok {
+		b.fail(fmt.Errorf("gbuild: unknown global %q", name))
+	}
+	return a
+}
+
+// SetEntry names the entry function (default "main").
+func (b *Builder) SetEntry(name string) { b.entry = name }
+
+func (b *Builder) fail(err error) {
+	if b.linkErr == nil {
+		b.linkErr = err
+	}
+}
+
+// Func opens a new function with the given symbol name and source file for
+// debug info. Instructions are appended through the returned Func until the
+// next call to Func or Link.
+func (b *Builder) Func(name, file string) *Func {
+	if _, dup := b.funcsByNm[name]; dup {
+		b.fail(fmt.Errorf("gbuild: duplicate function %q", name))
+	}
+	f := &Func{
+		b:     b,
+		name:  name,
+		file:  file,
+		start: len(b.text),
+	}
+	b.funcsByNm[name] = f
+	b.funcOrder = append(b.funcOrder, name)
+	return f
+}
+
+// Link resolves all references and produces a frozen image.
+func (b *Builder) Link() (*guest.Image, error) {
+	if b.linkErr != nil {
+		return nil, b.linkErr
+	}
+	// Assign function symbol addresses.
+	for _, name := range b.funcOrder {
+		f := b.funcsByNm[name]
+		addr := guest.TextBase + uint64(f.start)*guest.InstrBytes
+		b.funcAddr[name] = addr
+		b.symbols = append(b.symbols, guest.Symbol{
+			Name: name, Addr: addr,
+			Size: uint64(f.end-f.start) * guest.InstrBytes,
+			Kind: guest.SymFunc,
+		})
+		for lbl, idx := range f.labels {
+			if idx < 0 {
+				return nil, fmt.Errorf("gbuild: %s: label %d bound nowhere", name, lbl)
+			}
+		}
+	}
+	// Apply fixups.
+	for _, fx := range b.fixups {
+		var target uint64
+		switch fx.kind {
+		case fixImmLabel, fixLdi64Sym, fixImmSym:
+			if fx.sym != "" {
+				a, ok := b.funcAddr[fx.sym]
+				if !ok {
+					a, ok = b.dataSyms[fx.sym]
+				}
+				if !ok {
+					return nil, fmt.Errorf("gbuild: undefined symbol %q", fx.sym)
+				}
+				target = a
+			} else {
+				return nil, fmt.Errorf("gbuild: label fixup left unresolved")
+			}
+		}
+		switch fx.kind {
+		case fixImmSym:
+			b.text[fx.instr].Imm = int32(uint32(target))
+		case fixLdi64Sym:
+			// ldi rd, lo32 ; ldih rd, hi32
+			b.text[fx.instr].Imm = int32(uint32(target))
+			b.text[fx.instr+1].Imm = int32(uint32(target >> 32))
+		}
+	}
+	// Emit image.
+	im := &guest.Image{
+		Data:        append([]byte(nil), b.data...),
+		HostImports: append([]string(nil), b.hostNames...),
+		Symbols:     b.symbols,
+	}
+	im.Text = make([]uint64, len(b.text))
+	for i, in := range b.text {
+		if !in.Valid() {
+			return nil, fmt.Errorf("gbuild: invalid instruction %d: %+v", i, in)
+		}
+		im.Text[i] = in.Encode()
+	}
+	// Line table: coalesce per-instruction records into ranges.
+	for i, lr := range b.lines {
+		addr := guest.TextBase + uint64(lr.instr)*guest.InstrBytes
+		end := im.TextEnd()
+		if i+1 < len(b.lines) {
+			end = guest.TextBase + uint64(b.lines[i+1].instr)*guest.InstrBytes
+		}
+		if end > addr {
+			im.Lines = append(im.Lines, guest.LineEntry{
+				Addr: addr, Len: end - addr, File: lr.file, Line: lr.line,
+			})
+		}
+	}
+	im.TLSSize = b.tlsOff
+	entry := b.entry
+	if entry == "" {
+		entry = "main"
+	}
+	ea, ok := b.funcAddr[entry]
+	if !ok {
+		return nil, fmt.Errorf("gbuild: entry function %q not defined", entry)
+	}
+	im.Entry = ea
+	if err := im.Freeze(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// Func emits instructions for one function.
+type Func struct {
+	b      *Builder
+	name   string
+	file   string
+	start  int
+	end    int
+	labels []int // label -> text index (-1 = unbound)
+	// pending label fixups local to this function
+	pend []struct {
+		instr int
+		label Label
+	}
+	curLine int
+}
+
+// Name returns the function's symbol name.
+func (f *Func) Name() string { return f.name }
+
+// Line sets the source line attributed to subsequently emitted instructions.
+func (f *Func) Line(n int) {
+	f.curLine = n
+	f.b.lines = append(f.b.lines, lineRec{instr: len(f.b.text), file: f.file, line: n})
+}
+
+// emit appends one instruction.
+func (f *Func) emit(in guest.Instr) int {
+	idx := len(f.b.text)
+	f.b.text = append(f.b.text, in)
+	f.end = len(f.b.text)
+	return idx
+}
+
+// NewLabel creates an unbound label.
+func (f *Func) NewLabel() Label {
+	f.labels = append(f.labels, -1)
+	return Label(len(f.labels) - 1)
+}
+
+// Bind attaches a label to the next emitted instruction.
+func (f *Func) Bind(l Label) {
+	if f.labels[l] != -1 {
+		f.b.fail(fmt.Errorf("gbuild: %s: label %d bound twice", f.name, l))
+	}
+	f.labels[l] = len(f.b.text)
+	// Resolve pending references now if possible at link... we resolve at
+	// function close; simplest is to patch immediately for already-emitted
+	// references once the label binds.
+	for i := 0; i < len(f.pend); i++ {
+		p := f.pend[i]
+		if p.label == l {
+			f.b.text[p.instr].Imm = int32(uint32(guest.TextBase + uint64(f.labels[l])*guest.InstrBytes))
+			f.pend = append(f.pend[:i], f.pend[i+1:]...)
+			i--
+		}
+	}
+}
+
+// labelImm returns the label's absolute address if bound, otherwise records a
+// pending patch for the instruction about to be emitted at index idx.
+func (f *Func) refLabel(idx int, l Label) {
+	if f.labels[l] >= 0 {
+		f.b.text[idx].Imm = int32(uint32(guest.TextBase + uint64(f.labels[l])*guest.InstrBytes))
+		return
+	}
+	f.pend = append(f.pend, struct {
+		instr int
+		label Label
+	}{idx, l})
+}
+
+// --- plain instructions ---
+
+// Nop emits a no-op.
+func (f *Func) Nop() { f.emit(guest.Instr{Op: guest.OpNop}) }
+
+// Ldi loads a sign-extended 32-bit immediate.
+func (f *Func) Ldi(rd uint8, imm int32) {
+	f.emit(guest.Instr{Op: guest.OpLdi, Rd: rd, Imm: imm})
+}
+
+// LdConst64 materializes an arbitrary 64-bit constant (1 or 2 instructions).
+func (f *Func) LdConst64(rd uint8, v uint64) {
+	if int64(int32(uint32(v))) == int64(v) {
+		f.Ldi(rd, int32(uint32(v)))
+		return
+	}
+	f.emit(guest.Instr{Op: guest.OpLdi, Rd: rd, Imm: int32(uint32(v))})
+	f.emit(guest.Instr{Op: guest.OpLdih, Rd: rd, Imm: int32(uint32(v >> 32))})
+}
+
+// LdFloat materializes a float64 constant's bit pattern.
+func (f *Func) LdFloat(rd uint8, v float64) {
+	f.LdConst64(rd, f64bits(v))
+}
+
+// LoadSym loads the absolute address of a symbol (function or global).
+func (f *Func) LoadSym(rd uint8, sym string) {
+	idx := f.emit(guest.Instr{Op: guest.OpLdi, Rd: rd})
+	f.emit(guest.Instr{Op: guest.OpLdih, Rd: rd})
+	f.b.fixups = append(f.b.fixups, fixup{instr: idx, kind: fixLdi64Sym, sym: sym})
+}
+
+// Mov copies a register.
+func (f *Func) Mov(rd, rs uint8) { f.emit(guest.Instr{Op: guest.OpMov, Rd: rd, Rs1: rs}) }
+
+// ALU emits a three-register ALU operation.
+func (f *Func) ALU(op guest.Opcode, rd, rs1, rs2 uint8) {
+	f.emit(guest.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (f *Func) Add(rd, rs1, rs2 uint8) { f.ALU(guest.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (f *Func) Sub(rd, rs1, rs2 uint8) { f.ALU(guest.OpSub, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (f *Func) Mul(rd, rs1, rs2 uint8) { f.ALU(guest.OpMul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (signed).
+func (f *Func) Div(rd, rs1, rs2 uint8) { f.ALU(guest.OpDiv, rd, rs1, rs2) }
+
+// Addi emits rd = rs1 + imm.
+func (f *Func) Addi(rd, rs1 uint8, imm int32) {
+	f.emit(guest.Instr{Op: guest.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Muli emits rd = rs1 * imm.
+func (f *Func) Muli(rd, rs1 uint8, imm int32) {
+	f.emit(guest.Instr{Op: guest.OpMuli, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Andi emits rd = rs1 & imm.
+func (f *Func) Andi(rd, rs1 uint8, imm int32) {
+	f.emit(guest.Instr{Op: guest.OpAndi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ori emits rd = rs1 | imm.
+func (f *Func) Ori(rd, rs1 uint8, imm int32) {
+	f.emit(guest.Instr{Op: guest.OpOri, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Slt emits rd = (rs1 < rs2) signed.
+func (f *Func) Slt(rd, rs1, rs2 uint8) { f.ALU(guest.OpSlt, rd, rs1, rs2) }
+
+// Seq emits rd = (rs1 == rs2).
+func (f *Func) Seq(rd, rs1, rs2 uint8) { f.ALU(guest.OpSeq, rd, rs1, rs2) }
+
+// Fadd emits float64 rd = rs1 + rs2.
+func (f *Func) Fadd(rd, rs1, rs2 uint8) { f.ALU(guest.OpFadd, rd, rs1, rs2) }
+
+// Fsub emits float64 rd = rs1 - rs2.
+func (f *Func) Fsub(rd, rs1, rs2 uint8) { f.ALU(guest.OpFsub, rd, rs1, rs2) }
+
+// Fmul emits float64 rd = rs1 * rs2.
+func (f *Func) Fmul(rd, rs1, rs2 uint8) { f.ALU(guest.OpFmul, rd, rs1, rs2) }
+
+// Fdiv emits float64 rd = rs1 / rs2.
+func (f *Func) Fdiv(rd, rs1, rs2 uint8) { f.ALU(guest.OpFdiv, rd, rs1, rs2) }
+
+// Itof converts int64 rs1 to float64 rd.
+func (f *Func) Itof(rd, rs1 uint8) { f.emit(guest.Instr{Op: guest.OpItof, Rd: rd, Rs1: rs1}) }
+
+// Ftoi truncates float64 rs1 to int64 rd.
+func (f *Func) Ftoi(rd, rs1 uint8) { f.emit(guest.Instr{Op: guest.OpFtoi, Rd: rd, Rs1: rs1}) }
+
+// Ld emits rd = M[rs1+off] with the given width (1/2/4/8).
+func (f *Func) Ld(width uint8, rd, rs1 uint8, off int32) {
+	var op guest.Opcode
+	switch width {
+	case 1:
+		op = guest.OpLd8
+	case 2:
+		op = guest.OpLd16
+	case 4:
+		op = guest.OpLd32
+	case 8:
+		op = guest.OpLd64
+	default:
+		f.b.fail(fmt.Errorf("gbuild: bad load width %d", width))
+		return
+	}
+	f.emit(guest.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// St emits M[rs1+off] = rs2 with the given width.
+func (f *Func) St(width uint8, rs1 uint8, off int32, rs2 uint8) {
+	var op guest.Opcode
+	switch width {
+	case 1:
+		op = guest.OpSt8
+	case 2:
+		op = guest.OpSt16
+	case 4:
+		op = guest.OpSt32
+	case 8:
+		op = guest.OpSt64
+	default:
+		f.b.fail(fmt.Errorf("gbuild: bad store width %d", width))
+		return
+	}
+	f.emit(guest.Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Jmp branches unconditionally to a label.
+func (f *Func) Jmp(l Label) {
+	idx := f.emit(guest.Instr{Op: guest.OpJmp})
+	f.refLabel(idx, l)
+}
+
+// Br emits a conditional branch (one of OpBeq..OpBgeu) to a label.
+func (f *Func) Br(op guest.Opcode, rs1, rs2 uint8, l Label) {
+	idx := f.emit(guest.Instr{Op: op, Rs1: rs1, Rs2: rs2})
+	f.refLabel(idx, l)
+}
+
+// Beq branches if rs1 == rs2.
+func (f *Func) Beq(rs1, rs2 uint8, l Label) { f.Br(guest.OpBeq, rs1, rs2, l) }
+
+// Bne branches if rs1 != rs2.
+func (f *Func) Bne(rs1, rs2 uint8, l Label) { f.Br(guest.OpBne, rs1, rs2, l) }
+
+// Blt branches if rs1 < rs2 (signed).
+func (f *Func) Blt(rs1, rs2 uint8, l Label) { f.Br(guest.OpBlt, rs1, rs2, l) }
+
+// Bge branches if rs1 >= rs2 (signed).
+func (f *Func) Bge(rs1, rs2 uint8, l Label) { f.Br(guest.OpBge, rs1, rs2, l) }
+
+// Call emits jal to a named function.
+func (f *Func) Call(fn string) {
+	idx := f.emit(guest.Instr{Op: guest.OpJal})
+	f.b.fixups = append(f.b.fixups, fixup{instr: idx, kind: fixImmSym, sym: fn})
+}
+
+// CallReg emits jalr through a register holding a function address.
+func (f *Func) CallReg(rs1 uint8) { f.emit(guest.Instr{Op: guest.OpJalr, Rs1: rs1}) }
+
+// Ret returns through lr.
+func (f *Func) Ret() { f.emit(guest.Instr{Op: guest.OpRet}) }
+
+// Hcall calls a host library function by name; arguments r0..r5, result r0.
+func (f *Func) Hcall(name string) {
+	id := f.b.HostID(name)
+	f.emit(guest.Instr{Op: guest.OpHcall, Imm: int32(id)})
+}
+
+// Creq issues a client request with the given code; arguments r0..r5,
+// result r0.
+func (f *Func) Creq(code int32) { f.emit(guest.Instr{Op: guest.OpCreq, Imm: code}) }
+
+// Hlt terminates the thread (program, on the main thread) with status rs1.
+func (f *Func) Hlt(rs1 uint8) { f.emit(guest.Instr{Op: guest.OpHlt, Rs1: rs1}) }
+
+// --- call-frame conveniences ---
+
+// Enter sets up a stack frame: pushes lr and fp, sets fp = sp, reserves
+// localBytes of locals (must be a multiple of 8).
+func (f *Func) Enter(localBytes int32) {
+	f.Addi(guest.SP, guest.SP, -16)
+	f.St(8, guest.SP, 8, guest.LR)
+	f.St(8, guest.SP, 0, guest.FP)
+	f.Mov(guest.FP, guest.SP)
+	if localBytes > 0 {
+		f.Addi(guest.SP, guest.SP, -localBytes)
+	}
+}
+
+// Leave tears down the frame created by Enter and returns.
+func (f *Func) Leave() {
+	f.Mov(guest.SP, guest.FP)
+	f.Ld(8, guest.FP, guest.SP, 0)
+	f.Ld(8, guest.LR, guest.SP, 8)
+	f.Addi(guest.SP, guest.SP, 16)
+	f.Ret()
+}
+
+// Push pushes a register.
+func (f *Func) Push(r uint8) {
+	f.Addi(guest.SP, guest.SP, -8)
+	f.St(8, guest.SP, 0, r)
+}
+
+// Pop pops into a register.
+func (f *Func) Pop(r uint8) {
+	f.Ld(8, r, guest.SP, 0)
+	f.Addi(guest.SP, guest.SP, 8)
+}
+
+// LocalAddr computes rd = fp - off for a local slot (off > 0, within the
+// frame reserved by Enter).
+func (f *Func) LocalAddr(rd uint8, off int32) {
+	f.Addi(rd, guest.FP, -off)
+}
+
+// StLocal stores rs into the local slot at fp-off.
+func (f *Func) StLocal(width uint8, off int32, rs uint8) {
+	f.St(width, guest.FP, -off, rs)
+}
+
+// LdLocal loads the local slot at fp-off into rd.
+func (f *Func) LdLocal(width uint8, rd uint8, off int32) {
+	f.Ld(width, rd, guest.FP, -off)
+}

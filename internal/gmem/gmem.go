@@ -1,0 +1,169 @@
+// Package gmem implements the guest address space: a sparse, paged, little-
+// endian byte-addressable memory. Pages are allocated on first touch so huge
+// virtual layouts (stacks high, heap low) cost only what is used.
+//
+// Footprint reports the number of resident bytes; the evaluation harness uses
+// it as the "memory usage" metric for guest runs (Table II / Fig 4).
+package gmem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	pageShift = 16
+	// PageSize is the allocation granule (64 KiB).
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse guest address space. It is not internally synchronized:
+// the DBI scheduler serializes guest execution (one thread at a time), so all
+// accesses happen from the machine loop.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New creates an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// page returns the page containing addr, allocating it on first touch.
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Footprint returns the number of resident bytes (touched pages times page
+// size).
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) * PageSize
+}
+
+// ResidentPages returns the number of touched pages.
+func (m *Memory) ResidentPages() int { return len(m.pages) }
+
+// Load reads a little-endian value of the given width (1, 2, 4 or 8 bytes),
+// zero-extended to 64 bits.
+func (m *Memory) Load(addr uint64, width uint8) uint64 {
+	off := addr & pageMask
+	if off+uint64(width) <= PageSize {
+		p := m.page(addr)
+		switch width {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+		panic(fmt.Sprintf("gmem: bad load width %d", width))
+	}
+	// Page-straddling access: byte at a time.
+	var v uint64
+	for i := uint8(0); i < width; i++ {
+		v |= uint64(m.page(addr + uint64(i))[(addr+uint64(i))&pageMask]) << (8 * i)
+	}
+	return v
+}
+
+// Store writes a little-endian value of the given width.
+func (m *Memory) Store(addr uint64, width uint8, val uint64) {
+	off := addr & pageMask
+	if off+uint64(width) <= PageSize {
+		p := m.page(addr)
+		switch width {
+		case 1:
+			p[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], val)
+		default:
+			panic(fmt.Sprintf("gmem: bad store width %d", width))
+		}
+		return
+	}
+	for i := uint8(0); i < width; i++ {
+		m.page(addr + uint64(i))[(addr+uint64(i))&pageMask] = byte(val >> (8 * i))
+	}
+}
+
+// WriteBytes copies a host byte slice into guest memory.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies guest memory into a fresh host byte slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(addr + uint64(i))
+		off := (addr + uint64(i)) & pageMask
+		c := copy(out[i:], p[off:])
+		i += c
+	}
+	return out
+}
+
+// ReadCString reads a NUL-terminated guest string (capped at 64 KiB).
+func (m *Memory) ReadCString(addr uint64) string {
+	var out []byte
+	for i := 0; i < PageSize; i++ {
+		b := byte(m.Load(addr+uint64(i), 1))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// Zero clears n bytes starting at addr.
+func (m *Memory) Zero(addr uint64, n uint64) {
+	for i := uint64(0); i < n; {
+		p := m.page(addr + i)
+		off := (addr + i) & pageMask
+		span := PageSize - off
+		if span > n-i {
+			span = n - i
+		}
+		for j := uint64(0); j < span; j++ {
+			p[off+j] = 0
+		}
+		i += span
+	}
+}
+
+// Copy moves n bytes from src to dst (handles overlap like memmove).
+func (m *Memory) Copy(dst, src uint64, n uint64) {
+	if n == 0 || dst == src {
+		return
+	}
+	if dst < src {
+		for i := uint64(0); i < n; i++ {
+			m.Store(dst+i, 1, m.Load(src+i, 1))
+		}
+	} else {
+		for i := n; i > 0; i-- {
+			m.Store(dst+i-1, 1, m.Load(src+i-1, 1))
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{
+			Op:  Opcode(op % uint8(numOpcodes)),
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs,
+			Imm: imm,
+		}
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !(Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}).Valid() {
+		t.Error("valid add rejected")
+	}
+	if (Instr{Op: numOpcodes}).Valid() {
+		t.Error("bad opcode accepted")
+	}
+	if (Instr{Op: OpAdd, Rd: NumRegs}).Valid() {
+		t.Error("bad register accepted")
+	}
+}
+
+func TestBlockEndAndMemClassification(t *testing.T) {
+	ends := []Opcode{OpJmp, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJal, OpJalr, OpRet, OpHcall, OpCreq, OpHlt}
+	for _, op := range ends {
+		if !(Instr{Op: op}).IsBlockEnd() {
+			t.Errorf("%s should end a block", op)
+		}
+	}
+	for _, op := range []Opcode{OpNop, OpAdd, OpLd64, OpSt8} {
+		if (Instr{Op: op}).IsBlockEnd() {
+			t.Errorf("%s should not end a block", op)
+		}
+	}
+	if (Instr{Op: OpLd16}).MemWidth() != 2 || (Instr{Op: OpSt64}).MemWidth() != 8 {
+		t.Error("MemWidth wrong")
+	}
+	if (Instr{Op: OpAdd}).MemWidth() != 0 {
+		t.Error("non-mem width should be 0")
+	}
+	if !(Instr{Op: OpLd8}).IsLoad() || (Instr{Op: OpSt8}).IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !(Instr{Op: OpSt32}).IsStore() || (Instr{Op: OpLd32}).IsStore() {
+		t.Error("IsStore wrong")
+	}
+}
+
+func TestDisassemblyStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpLdi, Rd: 3, Imm: -7}, "ldi r3, -7"},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpLd32, Rd: 0, Rs1: SP, Imm: 8}, "ld32 r0, [sp+8]"},
+		{Instr{Op: OpSt64, Rs1: FP, Rs2: 5, Imm: -16}, "st64 [fp-16], r5"},
+		{Instr{Op: OpJal, Imm: 0x2000}, "jal 0x2000"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpHcall, Imm: 3}, "hcall #3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func mkImage(t *testing.T) *Image {
+	t.Helper()
+	im := &Image{
+		Text: []uint64{
+			Instr{Op: OpLdi, Rd: 0, Imm: 0}.Encode(),
+			Instr{Op: OpHlt}.Encode(),
+			Instr{Op: OpRet}.Encode(),
+		},
+		Entry: TextBase,
+		Symbols: []Symbol{
+			{Name: "main", Addr: TextBase, Size: 16, Kind: SymFunc},
+			{Name: "helper", Addr: TextBase + 16, Size: 8, Kind: SymFunc},
+			{Name: "g", Addr: DataBase, Size: 8, Kind: SymObject},
+		},
+		Lines: []LineEntry{
+			{Addr: TextBase, Len: 16, File: "a.c", Line: 3},
+			{Addr: TextBase + 16, Len: 8, File: "a.c", Line: 9},
+		},
+	}
+	if err := im.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestImageLookups(t *testing.T) {
+	im := mkImage(t)
+	if s := im.SymbolFor(TextBase + 8); s == nil || s.Name != "main" {
+		t.Errorf("SymbolFor mid-main = %v", s)
+	}
+	if s := im.SymbolFor(TextBase + 16); s == nil || s.Name != "helper" {
+		t.Errorf("SymbolFor helper = %v", s)
+	}
+	if s := im.SymbolFor(0x999999); s != nil {
+		t.Errorf("SymbolFor nowhere = %v", s)
+	}
+	if s := im.SymbolByName("g"); s == nil || s.Addr != DataBase {
+		t.Error("SymbolByName g")
+	}
+	if f, l := im.LineFor(TextBase + 8); f != "a.c" || l != 3 {
+		t.Errorf("LineFor = %s:%d", f, l)
+	}
+	if loc := im.Locate(TextBase + 16); !strings.Contains(loc, "helper") || !strings.Contains(loc, "a.c:9") {
+		t.Errorf("Locate = %q", loc)
+	}
+}
+
+func TestFreezeRejectsBadEntry(t *testing.T) {
+	im := &Image{Text: []uint64{Instr{Op: OpHlt}.Encode()}, Entry: 0}
+	if err := im.Freeze(); err == nil {
+		t.Fatal("want bad-entry error")
+	}
+}
+
+func TestFreezeRejectsInvalidInstruction(t *testing.T) {
+	im := &Image{Text: []uint64{^uint64(0)}, Entry: TextBase}
+	if err := im.Freeze(); err == nil {
+		t.Fatal("want invalid-instruction error")
+	}
+}
+
+func TestFetchInstr(t *testing.T) {
+	im := mkImage(t)
+	if _, err := im.FetchInstr(TextBase + 3); err == nil {
+		t.Error("misaligned fetch accepted")
+	}
+	if _, err := im.FetchInstr(im.TextEnd()); err == nil {
+		t.Error("out-of-range fetch accepted")
+	}
+	in, err := im.FetchInstr(TextBase)
+	if err != nil || in.Op != OpLdi {
+		t.Errorf("fetch = %v, %v", in, err)
+	}
+}
+
+func TestDisassembleRange(t *testing.T) {
+	im := mkImage(t)
+	d := im.Disassemble(0, 0)
+	if !strings.Contains(d, "<main>") || !strings.Contains(d, "hlt") {
+		t.Errorf("disassembly:\n%s", d)
+	}
+}

@@ -1,0 +1,277 @@
+// Package guest defines the guest instruction-set architecture that the DBI
+// framework instruments: a little-endian 64-bit RISC machine with a fixed
+// 8-byte instruction encoding, plus the binary program-image format (text,
+// data, symbols, line tables, host imports) that stands in for ELF.
+//
+// Programs for this machine are genuine binary artifacts: the framework
+// decodes instruction words, so runtime-library code and user code are
+// indistinguishable at instrumentation time — the property heavyweight DBI
+// relies on.
+package guest
+
+import "fmt"
+
+// Register indices. The machine has 16 general-purpose 64-bit registers.
+// r0..r5 carry arguments to calls and host calls; r0 carries results.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // stack pointer
+	FP // frame pointer
+	LR // link register
+	// NumRegs is the register file size.
+	NumRegs
+)
+
+// TP is the thread pointer: r12 is reserved by the ABI to hold the thread's
+// TLS block base (its TCB address), like tp on RISC-V or fs on x86-64.
+// _Thread_local objects are addressed as [TP + offset].
+const TP = R12
+
+// RegName returns the assembler name of a register.
+func RegName(r uint8) string {
+	switch r {
+	case SP:
+		return "sp"
+	case FP:
+		return "fp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// Opcode enumerates guest instructions.
+type Opcode uint8
+
+// Instruction opcodes. Every instruction is 8 bytes:
+//
+//	byte 0: opcode
+//	byte 1: rd
+//	byte 2: rs1
+//	byte 3: rs2
+//	bytes 4..7: imm (int32, little-endian)
+const (
+	OpNop Opcode = iota
+	// OpLdi: rd = signext(imm).
+	OpLdi
+	// OpLdih: rd = (uint64(imm) << 32) | (rd & 0xffffffff). Combined with
+	// OpLdi it materializes arbitrary 64-bit constants.
+	OpLdih
+	// OpMov: rd = rs1.
+	OpMov
+	// ALU register-register: rd = rs1 op rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSar
+	// Comparisons: rd = (rs1 cmp rs2) ? 1 : 0.
+	OpSeq
+	OpSne
+	OpSlt
+	OpSge
+	OpSltu
+	OpSgeu
+	// ALU register-immediate: rd = rs1 op signext(imm).
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpShli
+	OpShri
+	// Float (IEEE-754 float64 bit patterns in registers).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFlt // rd = (f(rs1) <  f(rs2)) ? 1 : 0
+	OpFle
+	OpFeq
+	OpItof
+	OpFtoi
+	// Loads: rd = zeroext(M[rs1 + signext(imm)]).
+	OpLd8
+	OpLd16
+	OpLd32
+	OpLd64
+	// Stores: M[rs1 + signext(imm)] = truncate(rs2).
+	OpSt8
+	OpSt16
+	OpSt32
+	OpSt64
+	// Control flow. Branch/jump targets are absolute guest addresses in imm.
+	OpJmp  // pc = imm
+	OpBeq  // if rs1 == rs2: pc = imm
+	OpBne  // if rs1 != rs2: pc = imm
+	OpBlt  // signed <
+	OpBge  // signed >=
+	OpBltu // unsigned <
+	OpBgeu // unsigned >=
+	OpJal  // lr = pc+8; pc = imm
+	OpJalr // lr = pc+8; pc = rs1
+	OpRet  // pc = lr
+	// OpHcall: call host library function #imm. Arguments in r0..r5,
+	// result in r0. May block the calling thread.
+	OpHcall
+	// OpCreq: client request #imm (tool communication). Arguments in
+	// r0..r5, result in r0. A no-op returning 0 when no tool is loaded.
+	OpCreq
+	// OpHlt: terminate the current thread; on the main thread, exit the
+	// program with status rs1.
+	OpHlt
+	numOpcodes
+)
+
+// InstrBytes is the size of one encoded instruction.
+const InstrBytes = 8
+
+var opcodeNames = [numOpcodes]string{
+	"nop", "ldi", "ldih", "mov",
+	"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sar",
+	"seq", "sne", "slt", "sge", "sltu", "sgeu",
+	"addi", "muli", "andi", "ori", "shli", "shri",
+	"fadd", "fsub", "fmul", "fdiv", "flt", "fle", "feq", "itof", "ftoi",
+	"ld8", "ld16", "ld32", "ld64",
+	"st8", "st16", "st32", "st64",
+	"jmp", "beq", "bne", "blt", "bge", "bltu", "bgeu",
+	"jal", "jalr", "ret",
+	"hcall", "creq", "hlt",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Instr is one decoded guest instruction.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode packs the instruction into its 8-byte word.
+func (in Instr) Encode() uint64 {
+	return uint64(in.Op) |
+		uint64(in.Rd)<<8 |
+		uint64(in.Rs1)<<16 |
+		uint64(in.Rs2)<<24 |
+		uint64(uint32(in.Imm))<<32
+}
+
+// Decode unpacks an 8-byte instruction word.
+func Decode(word uint64) Instr {
+	return Instr{
+		Op:  Opcode(word & 0xff),
+		Rd:  uint8(word >> 8),
+		Rs1: uint8(word >> 16),
+		Rs2: uint8(word >> 24),
+		Imm: int32(uint32(word >> 32)),
+	}
+}
+
+// Valid reports whether the instruction decodes to a known opcode with
+// register fields in range.
+func (in Instr) Valid() bool {
+	return in.Op < numOpcodes &&
+		in.Rd < NumRegs && in.Rs1 < NumRegs && in.Rs2 < NumRegs
+}
+
+// IsBlockEnd reports whether the instruction terminates a basic block
+// (transfers or may transfer control, or leaves guest code).
+func (in Instr) IsBlockEnd() bool {
+	switch in.Op {
+	case OpJmp, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpJal, OpJalr, OpRet, OpHcall, OpCreq, OpHlt:
+		return true
+	}
+	return false
+}
+
+// MemWidth returns the access width in bytes for load/store opcodes, and 0
+// for all others.
+func (in Instr) MemWidth() uint8 {
+	switch in.Op {
+	case OpLd8, OpSt8:
+		return 1
+	case OpLd16, OpSt16:
+		return 2
+	case OpLd32, OpSt32:
+		return 4
+	case OpLd64, OpSt64:
+		return 8
+	}
+	return 0
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in Instr) IsLoad() bool {
+	return in.Op >= OpLd8 && in.Op <= OpLd64
+}
+
+// IsStore reports whether the instruction writes memory.
+func (in Instr) IsStore() bool {
+	return in.Op >= OpSt8 && in.Op <= OpSt64
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	rd, r1, r2 := RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2)
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpLdi, OpLdih:
+		return fmt.Sprintf("%s %s, %d", in.Op, rd, in.Imm)
+	case OpMov, OpItof, OpFtoi:
+		return fmt.Sprintf("%s %s, %s", in.Op, rd, r1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpSar, OpSeq, OpSne, OpSlt, OpSge, OpSltu, OpSgeu,
+		OpFadd, OpFsub, OpFmul, OpFdiv, OpFlt, OpFle, OpFeq:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, rd, r1, r2)
+	case OpAddi, OpMuli, OpAndi, OpOri, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, rd, r1, in.Imm)
+	case OpLd8, OpLd16, OpLd32, OpLd64:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, rd, r1, in.Imm)
+	case OpSt8, OpSt16, OpSt32, OpSt64:
+		return fmt.Sprintf("%s [%s%+d], %s", in.Op, r1, in.Imm, r2)
+	case OpJmp, OpJal:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm))
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, r1, r2, uint32(in.Imm))
+	case OpJalr:
+		return fmt.Sprintf("jalr %s", r1)
+	case OpRet:
+		return "ret"
+	case OpHcall:
+		return fmt.Sprintf("hcall #%d", in.Imm)
+	case OpCreq:
+		return fmt.Sprintf("creq #%d", in.Imm)
+	case OpHlt:
+		return fmt.Sprintf("hlt %s", r1)
+	}
+	return fmt.Sprintf("?%d", uint8(in.Op))
+}

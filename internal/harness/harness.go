@@ -1,0 +1,135 @@
+// Package harness wires a guest program image together with the host C
+// library, the OpenMP runtime, the DBI core and an optional analysis tool —
+// the equivalent of launching `valgrind --tool=X ./a.out` in the paper's
+// setup.
+package harness
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbi"
+	"repro/internal/dbi/hostlib"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/vm"
+)
+
+// Setup configures an instance.
+type Setup struct {
+	// Image is the program to run.
+	Image *guest.Image
+	// Tool is the DBI tool plugin (nil runs uninstrumented — the
+	// "no tools" reference of the evaluation).
+	Tool dbi.Tool
+	// Seed drives the deterministic scheduler.
+	Seed uint64
+	// Threads caps OpenMP team sizes (OMP_NUM_THREADS; default 4).
+	Threads int
+	// Stdout receives guest output.
+	Stdout io.Writer
+	// Slice is the scheduler timeslice in basic blocks (default 3 —
+	// small enough that microbenchmark-sized programs interleave).
+	Slice int
+	// ExtraHost registers additional host functions (runtimes under test).
+	ExtraHost func(reg *vm.HostRegistry, inst *Instance)
+}
+
+// Instance is a ready-to-run guest machine with all substrates attached.
+type Instance struct {
+	M    *vm.Machine
+	Core *dbi.Core
+	Lib  *hostlib.Lib
+	OMP  *omp.Runtime
+}
+
+// New builds an instance.
+func New(s Setup) (*Instance, error) {
+	inst := &Instance{}
+	reg := vm.NewHostRegistry()
+	inst.Lib = hostlib.New()
+	inst.Lib.Install(reg)
+	inst.OMP = omp.NewRuntime()
+	if s.Threads > 0 {
+		inst.OMP.MaxThreads = s.Threads
+	}
+	inst.OMP.Install(reg)
+	if s.ExtraHost != nil {
+		s.ExtraHost(reg, inst)
+	}
+	slice := s.Slice
+	if slice == 0 {
+		slice = 3
+	}
+	m, err := vm.New(s.Image, reg, vm.Config{Seed: s.Seed, Stdout: s.Stdout, Slice: slice})
+	if err != nil {
+		return nil, err
+	}
+	inst.M = m
+	inst.Core = dbi.New(m, s.Tool)
+	inst.Lib.Bind(inst.Core)
+	inst.OMP.Attach(m)
+	if tg, ok := s.Tool.(*core.Taskgrind); ok && tg.Opt.NoFreePool {
+		// The §IV-B future-work extension: neutralize the runtime's
+		// internal allocator recycling (the effect of wrapping
+		// __kmp_fast_allocate).
+		inst.OMP.Pool.Recycle = false
+	}
+	if s.Tool != nil {
+		// Inject the built-in OMPT tool: runtime events become client
+		// requests delivered to the plugin (paper Fig. 2).
+		inst.OMP.Events = &ompt.Bridge{Core: inst.Core}
+	}
+	return inst, nil
+}
+
+// Result captures one run's metrics.
+type Result struct {
+	ExitCode uint64
+	// Wall is the host wall-clock execution time (recording phase only,
+	// like the paper's Table II timing).
+	Wall time.Duration
+	// GuestInstrs is the deterministic work metric.
+	GuestInstrs uint64
+	// Footprint is guest memory + tool shadow memory at exit.
+	Footprint uint64
+	Err       error
+}
+
+// Run executes the program (and the tool's Fini pass) and reports metrics.
+// The wall time covers the recording phase only; analysis time is the
+// tool's business, matching the paper's measurement methodology.
+func (inst *Instance) Run() Result {
+	start := time.Now()
+	err := inst.M.Run()
+	wall := time.Since(start)
+	if err == nil && inst.Core.Tool() != nil {
+		inst.Core.Tool().Fini(inst.Core)
+	}
+	return Result{
+		ExitCode:    inst.M.ExitCode(),
+		Wall:        wall,
+		GuestInstrs: inst.M.InstrsExecuted,
+		Footprint:   inst.M.Footprint(),
+		Err:         err,
+	}
+}
+
+// BuildAndRun links a builder, builds an instance and runs it — the
+// one-stop helper tests use.
+func BuildAndRun(b *gbuild.Builder, s Setup) (Result, *Instance, error) {
+	im, err := b.Link()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	s.Image = im
+	inst, err := New(s)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := inst.Run()
+	return res, inst, nil
+}

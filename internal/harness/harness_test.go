@@ -1,0 +1,109 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/vm"
+)
+
+func helloProgram() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.GlobalString("msg", "hi\n")
+	f := b.Func("main", "h.c")
+	f.LoadSym(guest.R0, "msg")
+	f.Hcall("print_str")
+	f.Ldi(guest.R0, 5)
+	f.Hlt(guest.R0)
+	return b
+}
+
+func TestBuildAndRunBasics(t *testing.T) {
+	var out bytes.Buffer
+	res, inst, err := harness.BuildAndRun(helloProgram(), harness.Setup{Stdout: &out})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if res.ExitCode != 5 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	if out.String() != "hi\n" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+	if res.GuestInstrs == 0 || res.Footprint == 0 {
+		t.Fatal("metrics empty")
+	}
+	if inst.Lib == nil || inst.OMP == nil || inst.Core == nil {
+		t.Fatal("instance incomplete")
+	}
+}
+
+func TestLinkErrorPropagates(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "bad.c")
+	f.Call("missing")
+	f.Hlt(guest.R0)
+	if _, _, err := harness.BuildAndRun(b, harness.Setup{}); err == nil {
+		t.Fatal("link error swallowed")
+	} else if !strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtraHostRegistration(t *testing.T) {
+	b := omp.NewProgram()
+	f := b.Func("main", "x.c")
+	f.Hcall("custom_fn")
+	f.Hlt(guest.R0)
+	res, _, err := harness.BuildAndRun(b, harness.Setup{
+		ExtraHost: func(reg *vm.HostRegistry, inst *harness.Instance) {
+			reg.Register("custom_fn", func(m *vm.Machine, t *vm.Thread) vm.HostResult {
+				return vm.HostResult{Ret: 99}
+			})
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if res.ExitCode != 99 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestNoFreePoolHonoured(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.NoFreePool = true
+	tg := core.New(opt)
+	_, inst, err := harness.BuildAndRun(helloProgram(), harness.Setup{Tool: tg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.OMP.Pool.Recycle {
+		t.Fatal("NoFreePool did not disable pool recycling")
+	}
+	// And the default keeps recycling on.
+	tg2 := core.New(core.DefaultOptions())
+	_, inst2, err := harness.BuildAndRun(helloProgram(), harness.Setup{Tool: tg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst2.OMP.Pool.Recycle {
+		t.Fatal("default disabled pool recycling")
+	}
+}
+
+func TestThreadsCapApplied(t *testing.T) {
+	_, inst, err := harness.BuildAndRun(helloProgram(), harness.Setup{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.OMP.MaxThreads != 2 {
+		t.Fatalf("MaxThreads = %d", inst.OMP.MaxThreads)
+	}
+}

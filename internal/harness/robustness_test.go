@@ -1,0 +1,124 @@
+package harness_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/tools/toolreg"
+)
+
+// randTaskProgram generates a random but well-formed task program: a random
+// number of tasks with random global accesses, random dependences, random
+// taskwaits — the fuzz target for the whole stack.
+func randTaskProgram(seed int64) *gbuild.Builder {
+	rng := rand.New(rand.NewSource(seed))
+	b := omp.NewProgram()
+	nglobals := 1 + rng.Intn(4)
+	for g := 0; g < nglobals; g++ {
+		b.Global(fmt.Sprintf("g%d", g), 8)
+	}
+	ntasks := 1 + rng.Intn(6)
+	for i := 0; i < ntasks; i++ {
+		f := b.Func(fmt.Sprintf("t%d", i), "fuzz.c")
+		f.Line(10 + i)
+		naccesses := 1 + rng.Intn(4)
+		for a := 0; a < naccesses; a++ {
+			sym := fmt.Sprintf("g%d", rng.Intn(nglobals))
+			f.LoadSym(guest.R1, sym)
+			if rng.Intn(2) == 0 {
+				f.Ld(8, guest.R2, guest.R1, 0)
+			} else {
+				f.Ldi(guest.R2, int32(rng.Intn(100)))
+				f.St(8, guest.R1, 0, guest.R2)
+			}
+		}
+		f.Ret()
+	}
+
+	f := b.Func("micro", "fuzz.c")
+	f.Enter(0)
+	fn := f
+	kinds := []uint64{1, 2, 3}
+	omp.SingleNowait(f, func() {
+		for i := 0; i < ntasks; i++ {
+			var deps []omp.Dep
+			for d := 0; d < rng.Intn(3); d++ {
+				deps = append(deps, omp.DepSym(
+					kinds[rng.Intn(len(kinds))],
+					fmt.Sprintf("g%d", rng.Intn(nglobals))))
+			}
+			omp.EmitTask(fn, omp.TaskOpts{Fn: fmt.Sprintf("t%d", i), Deps: deps})
+			if rng.Intn(3) == 0 {
+				omp.Taskwait(fn)
+			}
+		}
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+
+	f = b.Func("main", "fuzz.c")
+	f.Enter(0)
+	f.Ldi(guest.R1, 0)
+	omp.Parallel(f, "micro", guest.R1, 4)
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+// TestFuzzAllToolsNoPanic runs random task programs under every registered
+// tool at both thread counts: nothing may crash, deadlock or corrupt the
+// program's result.
+func TestFuzzAllToolsNoPanic(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		for _, toolName := range toolreg.Names() {
+			for _, threads := range []int{1, 4} {
+				tool, count, err := toolreg.Make(toolName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _, err := harness.BuildAndRun(randTaskProgram(trial), harness.Setup{
+					Tool: tool, Seed: uint64(trial%5) + 1, Threads: threads,
+				})
+				if err != nil {
+					t.Fatalf("trial %d %s@%d: %v", trial, toolName, threads, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("trial %d %s@%d: %v", trial, toolName, threads, res.Err)
+				}
+				_ = count()
+			}
+		}
+	}
+}
+
+// TestFuzzToolsDoNotPerturbResults: for result-bearing random programs the
+// exit state matches the uninstrumented run under every tool.
+func TestFuzzToolsDoNotPerturbResults(t *testing.T) {
+	for trial := int64(100); trial < 112; trial++ {
+		want, _, err := harness.BuildAndRun(randTaskProgram(trial), harness.Setup{Seed: 2, Threads: 1})
+		if err != nil || want.Err != nil {
+			t.Fatal(err, want.Err)
+		}
+		for _, toolName := range []string{"taskgrind", "archer", "tasksan", "romp", "memcheck"} {
+			tool, _, err := toolreg.Make(toolName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := harness.BuildAndRun(randTaskProgram(trial), harness.Setup{
+				Tool: tool, Seed: 2, Threads: 1,
+			})
+			if err != nil || got.Err != nil {
+				t.Fatal(err, got.Err)
+			}
+			if got.ExitCode != want.ExitCode {
+				t.Fatalf("trial %d: %s changed the result: %d vs %d",
+					trial, toolName, got.ExitCode, want.ExitCode)
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package heat is a 1-D heat-diffusion mini-app in three versions — the
+// "porting simulation codes... particularly with dependent task-based
+// programming models" scenario of the paper's introduction, and the
+// substrate for the trial-and-error parallelization-assistant workflow its
+// conclusion envisions:
+//
+//   - Serial: the reference loop nest.
+//   - RacyTasks: the first tasking attempt — each chunk task depends only
+//     on its own chunk, forgetting the stencil halo (a "missing
+//     synchronization lead[ing] to an incorrect order of execution").
+//   - FixedTasks: the dependence-complete version Taskgrind's report
+//     points to.
+//
+// All versions compute the same result under the serialized schedule (the
+// race is a determinacy hazard, not a wrong-value bug on every run), which
+// is exactly why a determinacy-race tool is needed to find it.
+package heat
+
+import (
+	"fmt"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// Version selects the program variant.
+type Version int
+
+// Variants.
+const (
+	Serial Version = iota
+	RacyTasks
+	FixedTasks
+)
+
+// String renders the variant name.
+func (v Version) String() string {
+	switch v {
+	case Serial:
+		return "serial"
+	case RacyTasks:
+		return "racy-tasks"
+	case FixedTasks:
+		return "fixed-tasks"
+	}
+	return "?"
+}
+
+const (
+	r0 = guest.R0
+	r1 = guest.R1
+	r2 = guest.R2
+	r3 = guest.R3
+	r4 = guest.R4
+	r5 = guest.R5
+	r9 = guest.R9
+)
+
+// Params sizes the problem.
+type Params struct {
+	// N is the cell count (including the two fixed boundary cells).
+	N int
+	// Chunks is the number of tasks per sweep.
+	Chunks int
+	// Iters is the number of sweeps.
+	Iters int
+}
+
+// Build constructs the guest program for a variant.
+func Build(v Version, p Params) (*gbuild.Builder, error) {
+	if p.N < 4 || p.Chunks < 1 || p.Iters < 1 {
+		return nil, fmt.Errorf("heat: bad params %+v", p)
+	}
+	b := omp.NewProgram()
+	b.Global("u_ptr", 8)
+	b.Global("w_ptr", 8)
+
+	emitSweepBody(b)
+	switch v {
+	case Serial:
+		emitSerialMain(b, p)
+	case RacyTasks, FixedTasks:
+		emitTaskMicro(b, p, v == FixedTasks)
+		emitTaskMain(b, p)
+	default:
+		return nil, fmt.Errorf("heat: unknown version %d", v)
+	}
+	return b, nil
+}
+
+// emitSweepBody defines sweep(args): update dst[i] for i in [lo, lo+count)
+// from src, where args = {lo, count, parity}. parity 0 reads u/writes w;
+// parity 1 reads w/writes u.
+//
+//	dst[i] = src[i] + 0.25*(src[i-1] - 2*src[i] + src[i+1])
+func emitSweepBody(b *gbuild.Builder) {
+	f := b.Func("sweep", "heat.c")
+	f.Line(14)
+	f.Enter(48)
+	// Locals: fp-8 cursor (byte off), fp-16 end, fp-24 src, fp-32 dst.
+	f.Ld(8, r1, r0, 0)  // lo
+	f.Ld(8, r2, r0, 8)  // count
+	f.Ld(8, r3, r0, 16) // parity
+	f.Muli(r1, r1, 8)
+	f.Muli(r2, r2, 8)
+	f.Add(r2, r1, r2)
+	f.StLocal(8, 8, r1)
+	f.StLocal(8, 16, r2)
+	swap := f.NewLabel()
+	haveBufs := f.NewLabel()
+	f.Ldi(r4, 0)
+	f.Bne(r3, r4, swap)
+	f.LoadSym(r4, "u_ptr")
+	f.Ld(8, r4, r4, 0)
+	f.LoadSym(r5, "w_ptr")
+	f.Ld(8, r5, r5, 0)
+	f.Jmp(haveBufs)
+	f.Bind(swap)
+	f.LoadSym(r4, "w_ptr")
+	f.Ld(8, r4, r4, 0)
+	f.LoadSym(r5, "u_ptr")
+	f.Ld(8, r5, r5, 0)
+	f.Bind(haveBufs)
+	f.StLocal(8, 24, r4) // src
+	f.StLocal(8, 32, r5) // dst
+	loop := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(loop)
+	f.LdLocal(8, r1, 8)
+	f.LdLocal(8, r2, 16)
+	f.Bge(r1, r2, done)
+	f.LdLocal(8, r4, 24) // src
+	f.Add(r3, r4, r1)
+	f.Ld(8, r2, r3, -8) // src[i-1]
+	f.Ld(8, r5, r3, 0)  // src[i]
+	f.Ld(8, r9, r3, 8)  // src[i+1]
+	f.Fadd(r2, r2, r9)  // left+right
+	f.LdFloat(r9, 2.0)
+	f.Fmul(r9, r5, r9)
+	f.Fsub(r2, r2, r9) // left - 2*mid + right
+	f.LdFloat(r9, 0.25)
+	f.Fmul(r2, r2, r9)
+	f.Fadd(r2, r5, r2) // mid + 0.25*lap
+	f.LdLocal(8, r4, 32)
+	f.Add(r3, r4, r1)
+	f.St(8, r3, 0, r2) // dst[i] = ...
+	f.LdLocal(8, r1, 8)
+	f.Addi(r1, r1, 8)
+	f.StLocal(8, 8, r1)
+	f.Jmp(loop)
+	f.Bind(done)
+	f.Leave()
+}
+
+// chunks splits the interior [1, n-1) into k ranges.
+func chunks(n, k int) [][2]int {
+	interior := n - 2
+	out := make([][2]int, 0, k)
+	for c := 0; c < k; c++ {
+		lo := 1 + interior*c/k
+		hi := 1 + interior*(c+1)/k
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// argsFor places the static {lo, count, parity} block for one (chunk,
+// parity) pair and defines the wrapper function; returns the wrapper name.
+func argsFor(b *gbuild.Builder, c [2]int, ci, parity int) string {
+	sym := fmt.Sprintf("hargs_c%d_p%d", ci, parity)
+	var buf [24]byte
+	putU64(buf[0:], uint64(c[0]))
+	putU64(buf[8:], uint64(c[1]-c[0]))
+	putU64(buf[16:], uint64(parity))
+	b.GlobalInit(sym, buf[:])
+	fn := "sweep$" + sym
+	f := b.Func(fn, "heat.c")
+	f.Line(20 + ci)
+	f.Enter(0)
+	f.LoadSym(r0, sym)
+	f.Call("sweep")
+	f.Leave()
+	return fn
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// emitTaskMicro builds the tasked sweeps. With halo=false the chunk task
+// depends only on its own source chunk — the missing stencil dependence.
+func emitTaskMicro(b *gbuild.Builder, p Params, halo bool) {
+	cs := chunks(p.N, p.Chunks)
+	// Pre-generate wrappers for both parities.
+	names := make([][2]string, len(cs))
+	for ci, c := range cs {
+		names[ci][0] = argsFor(b, c, ci, 0)
+		names[ci][1] = argsFor(b, c, ci, 1)
+	}
+	bufSym := func(parity, which int) string {
+		// which 0 = src of this parity, 1 = dst.
+		if (parity ^ which) == 0 {
+			return "u_ptr"
+		}
+		return "w_ptr"
+	}
+	dep := func(kind uint64, sym string, idx int) omp.Dep {
+		return omp.Dep{Kind: kind, Emit: func(f *gbuild.Func, dst uint8) {
+			f.LoadSym(dst, sym)
+			f.Ld(8, dst, dst, 0)
+			f.Addi(dst, dst, int32(idx*8))
+		}}
+	}
+	f := b.Func("micro", "heat.c")
+	f.Line(40)
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.AssumeDeferrable(fn, true)
+		for it := 0; it < p.Iters; it++ {
+			parity := it & 1
+			src := bufSym(parity, 0)
+			dst := bufSym(parity, 1)
+			for ci, c := range cs {
+				deps := []omp.Dep{
+					dep(ompt.DepOut, dst, c[0]),
+					dep(ompt.DepIn, src, c[0]),
+				}
+				if halo {
+					// The stencil also reads the neighbour
+					// chunks' edge cells.
+					if ci > 0 {
+						deps = append(deps, dep(ompt.DepIn, src, cs[ci-1][0]))
+					}
+					if ci < len(cs)-1 {
+						deps = append(deps, dep(ompt.DepIn, src, cs[ci+1][0]))
+					}
+				}
+				omp.EmitTask(fn, omp.TaskOpts{Fn: names[ci][parity], Deps: deps})
+			}
+		}
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+}
+
+// emitInit allocates and initializes both buffers: a hot spike in the
+// middle, cold elsewhere.
+func emitInit(f *gbuild.Func, p Params) {
+	for _, sym := range []string{"u_ptr", "w_ptr"} {
+		f.LdConst64(r0, uint64(p.N*8))
+		f.Hcall("malloc")
+		f.LoadSym(r1, sym)
+		f.St(8, r1, 0, r0)
+	}
+	f.Ldi(r3, 0)
+	f.StLocal(8, 8, r3)
+	loop := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(loop)
+	f.LdLocal(8, r3, 8)
+	f.LdConst64(r2, uint64(p.N*8))
+	f.Bge(r3, r2, done)
+	mid := f.NewLabel()
+	store := f.NewLabel()
+	f.LdFloat(r4, 0)
+	f.LdConst64(r2, uint64((p.N/2)*8))
+	f.Bne(r3, r2, mid)
+	f.LdFloat(r4, 100.0)
+	f.Bind(mid)
+	f.Jmp(store)
+	f.Bind(store)
+	for _, sym := range []string{"u_ptr", "w_ptr"} {
+		f.LoadSym(r1, sym)
+		f.Ld(8, r1, r1, 0)
+		f.Add(r1, r1, r3)
+		f.St(8, r1, 0, r4)
+	}
+	f.LdLocal(8, r3, 8)
+	f.Addi(r3, r3, 8)
+	f.StLocal(8, 8, r3)
+	f.Jmp(loop)
+	f.Bind(done)
+}
+
+// emitChecksum computes floor(sum(final buffer)*256) & 0x7fffffff into R0.
+func emitChecksum(f *gbuild.Func, p Params) {
+	final := "u_ptr"
+	if p.Iters&1 == 1 {
+		final = "w_ptr"
+	}
+	f.Ldi(r3, 0)
+	f.StLocal(8, 8, r3)
+	f.LdFloat(r4, 0)
+	f.StLocal(8, 16, r4)
+	loop := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(loop)
+	f.LdLocal(8, r3, 8)
+	f.LdConst64(r2, uint64(p.N*8))
+	f.Bge(r3, r2, done)
+	f.LoadSym(r1, final)
+	f.Ld(8, r1, r1, 0)
+	f.Add(r1, r1, r3)
+	f.Ld(8, r4, r1, 0)
+	f.LdLocal(8, r5, 16)
+	f.Fadd(r5, r5, r4)
+	f.StLocal(8, 16, r5)
+	f.LdLocal(8, r3, 8)
+	f.Addi(r3, r3, 8)
+	f.StLocal(8, 8, r3)
+	f.Jmp(loop)
+	f.Bind(done)
+	f.LdLocal(8, r4, 16)
+	f.LdFloat(r5, 256.0)
+	f.Fmul(r4, r4, r5)
+	f.Ftoi(r0, r4)
+	f.LdConst64(r1, 0x7fffffff)
+	f.ALU(guest.OpAnd, r0, r0, r1)
+}
+
+func emitTaskMain(b *gbuild.Builder, p Params) {
+	f := b.Func("main", "heat.c")
+	f.Line(5)
+	f.Enter(32)
+	emitInit(f, p)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	emitChecksum(f, p)
+	f.Hlt(r0)
+}
+
+// emitSerialMain runs the sweeps inline through the same sweep body.
+func emitSerialMain(b *gbuild.Builder, p Params) {
+	cs := chunks(p.N, p.Chunks)
+	names := make([][2]string, len(cs))
+	for ci, c := range cs {
+		names[ci][0] = argsFor(b, c, ci, 0)
+		names[ci][1] = argsFor(b, c, ci, 1)
+	}
+	f := b.Func("main", "heat.c")
+	f.Line(5)
+	f.Enter(32)
+	emitInit(f, p)
+	for it := 0; it < p.Iters; it++ {
+		for ci := range cs {
+			f.Call(names[ci][it&1])
+		}
+	}
+	emitChecksum(f, p)
+	f.Hlt(r0)
+}

@@ -1,0 +1,96 @@
+package heat_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/heat"
+)
+
+var p = heat.Params{N: 64, Chunks: 4, Iters: 6}
+
+func runHeat(t *testing.T, v heat.Version, tool *core.Taskgrind, seed uint64, threads int) uint64 {
+	t.Helper()
+	b, err := heat.Build(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := harness.Setup{Seed: seed, Threads: threads}
+	if tool != nil {
+		setup.Tool = tool
+	}
+	res, _, err := harness.BuildAndRun(b, setup)
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	return res.ExitCode
+}
+
+// TestAllVersionsComputeTheSameChecksum: the race is a determinacy hazard;
+// under the serialized deterministic scheduler every version agrees — which
+// is why testing alone cannot find the bug.
+func TestAllVersionsComputeTheSameChecksum(t *testing.T) {
+	want := runHeat(t, heat.Serial, nil, 1, 1)
+	if want == 0 {
+		t.Fatal("zero checksum")
+	}
+	for _, v := range []heat.Version{heat.RacyTasks, heat.FixedTasks} {
+		for _, threads := range []int{1, 4} {
+			if got := runHeat(t, v, nil, 3, threads); got != want {
+				t.Errorf("%v@%d: checksum %d != serial %d", v, threads, got, want)
+			}
+		}
+	}
+}
+
+// TestTaskgrindFlagsOnlyTheRacyVersion: the assistant workflow — serial and
+// fixed are clean, the halo-less version is reported.
+func TestTaskgrindFlagsOnlyTheRacyVersion(t *testing.T) {
+	for _, tc := range []struct {
+		v    heat.Version
+		want bool
+	}{
+		{heat.Serial, false},
+		{heat.RacyTasks, true},
+		{heat.FixedTasks, false},
+	} {
+		tg := core.New(core.DefaultOptions())
+		runHeat(t, tc.v, tg, 2, 4)
+		if got := tg.RaceCount > 0; got != tc.want {
+			t.Errorf("%v: reported=%v want %v (count %d)\n%s",
+				tc.v, got, tc.want, tg.RaceCount, tg.Reports.String())
+		}
+	}
+}
+
+// TestRacyDetectedEvenSerialized: with the deferrable annotation the
+// missing halo dependence is visible on one thread — the tool beats
+// debugging (Dijkstra's point in the paper's introduction).
+func TestRacyDetectedEvenSerialized(t *testing.T) {
+	tg := core.New(core.DefaultOptions())
+	runHeat(t, heat.RacyTasks, tg, 1, 1)
+	if tg.RaceCount == 0 {
+		t.Fatal("racy version not detected at one thread")
+	}
+}
+
+// TestReportNamesTheSweep: the report labels point into heat.c.
+func TestReportNamesTheSweep(t *testing.T) {
+	tg := core.New(core.DefaultOptions())
+	runHeat(t, heat.RacyTasks, tg, 2, 4)
+	if tg.Reports.Len() == 0 {
+		t.Fatal("no reports")
+	}
+	r := tg.Reports.Races[0]
+	if r.SegA == "" || r.SegB == "" {
+		t.Fatalf("unlabelled report: %+v", r)
+	}
+}
+
+// TestBadParams.
+func TestBadParams(t *testing.T) {
+	if _, err := heat.Build(heat.Serial, heat.Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}

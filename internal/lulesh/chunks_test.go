@@ -1,0 +1,105 @@
+package lulesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestChunksPartition: chunks() produces a gap-free, non-overlapping cover
+// of [0, n) for any positive n, k.
+func TestChunksPartition(t *testing.T) {
+	f := func(n16, k8 uint8) bool {
+		n := int(n16)%500 + 1
+		k := int(k8)%16 + 1
+		cs := chunks(n, k)
+		if len(cs) != k {
+			return false
+		}
+		pos := 0
+		for _, c := range cs {
+			if c[0] != pos || c[1] < c[0] {
+				return false
+			}
+			pos = c[1]
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunksBalanced: chunk sizes differ by at most one.
+func TestChunksBalanced(t *testing.T) {
+	cs := chunks(1003, 7)
+	min, max := 1<<30, 0
+	for _, c := range cs {
+		sz := c[1] - c[0]
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("imbalance: min=%d max=%d", min, max)
+	}
+}
+
+// TestOverlappingFindsExactly: cross-granularity overlap computation.
+func TestOverlappingFindsExactly(t *testing.T) {
+	elem := chunks(100, 4)                          // [0,25) [25,50) [50,75) [75,100)
+	node := chunks(100, 3)                          // [0,34) [34,67) [67,100)
+	ov := overlapping(elem, node[1][0], node[1][1]) // [34,67)
+	// overlaps elem chunks [25,50) and [50,75).
+	if len(ov) != 2 || ov[0][0] != 25 || ov[1][0] != 50 {
+		t.Fatalf("overlapping = %v", ov)
+	}
+	// Degenerate query.
+	if len(overlapping(elem, 100, 100)) != 0 {
+		t.Fatal("empty range overlapped")
+	}
+}
+
+// TestOverlappingCoversUnion: every element chunk overlapping a node chunk
+// is found (property vs. brute force).
+func TestQuickOverlappingMatchesBruteForce(t *testing.T) {
+	f := func(n8, a8, b8 uint8) bool {
+		n := int(n8)%200 + 10
+		parts := chunks(n, int(a8)%8+1)
+		qs := chunks(n, int(b8)%8+1)
+		for _, q := range qs {
+			got := overlapping(parts, q[0], q[1])
+			var want [][2]int
+			for _, p := range parts {
+				if p[0] < q[1] && p[1] > q[0] {
+					want = append(want, p)
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultParamsMatchPaper: Table II uses -s 16 -tel 4 -tnl 4 -i 4.
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.S != 16 || p.TEL != 4 || p.TNL != 4 || p.Iters != 4 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.Cells() != 4096 {
+		t.Fatalf("cells = %d", p.Cells())
+	}
+}

@@ -1,0 +1,132 @@
+// Package mem implements guest heap allocators with free-list recycling —
+// the behaviour of system allocators that the paper identifies as a source
+// of false positives (§IV-B): freeing a block and allocating again may hand
+// back the same address, so accesses by independent tasks alias.
+//
+// Two instances are used: the program allocator behind malloc/free (which
+// Taskgrind can neutralize by redirecting free to a no-op), and the runtime's
+// internal fast pool (the __kmp_fast_allocate analog) that Valgrind-style
+// wrapping cannot see — the limitation the paper leaves as future work.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+const align = 16
+
+// Allocator is a first-fit bump allocator with LIFO per-size free lists, so
+// a freed block is immediately recycled by the next same-size allocation —
+// maximizing the recycling behaviour the experiments need to provoke.
+type Allocator struct {
+	base, limit uint64
+	brk         uint64
+	sizes       map[uint64]uint64   // addr -> rounded size (live and freed-but-tracked)
+	free        map[uint64][]uint64 // rounded size -> LIFO of addresses
+	// Recycle disables the free lists when false: Free still marks blocks
+	// dead but addresses are never reused (the effect of Taskgrind's
+	// free-as-no-op redirection).
+	Recycle bool
+
+	liveBytes  uint64
+	peakBytes  uint64
+	TotalAlloc uint64
+	TotalFree  uint64
+}
+
+// New creates an allocator over [base, limit).
+func New(base, limit uint64) *Allocator {
+	return &Allocator{
+		base: base, limit: limit, brk: base,
+		sizes:   make(map[uint64]uint64),
+		free:    make(map[uint64][]uint64),
+		Recycle: true,
+	}
+}
+
+// Round returns the rounded allocation size for a request.
+func Round(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	return (n + align - 1) &^ (align - 1)
+}
+
+// Alloc returns the address of a block of at least n bytes, or 0 when the
+// region is exhausted.
+func (a *Allocator) Alloc(n uint64) uint64 {
+	r := Round(n)
+	if a.Recycle {
+		if fl := a.free[r]; len(fl) > 0 {
+			addr := fl[len(fl)-1]
+			a.free[r] = fl[:len(fl)-1]
+			a.sizes[addr] = r
+			a.liveBytes += r
+			a.TotalAlloc++
+			if a.liveBytes > a.peakBytes {
+				a.peakBytes = a.liveBytes
+			}
+			return addr
+		}
+	}
+	if a.brk+r > a.limit {
+		return 0
+	}
+	addr := a.brk
+	a.brk += r
+	a.sizes[addr] = r
+	a.liveBytes += r
+	a.TotalAlloc++
+	if a.liveBytes > a.peakBytes {
+		a.peakBytes = a.liveBytes
+	}
+	return addr
+}
+
+// Free releases the block at addr. Freeing 0 is a no-op; freeing an unknown
+// or already-freed address returns an error (the guest equivalent of heap
+// corruption).
+func (a *Allocator) Free(addr uint64) error {
+	if addr == 0 {
+		return nil
+	}
+	r, ok := a.sizes[addr]
+	if !ok {
+		return fmt.Errorf("mem: invalid free of 0x%x", addr)
+	}
+	delete(a.sizes, addr)
+	a.liveBytes -= r
+	a.TotalFree++
+	if a.Recycle {
+		a.free[r] = append(a.free[r], addr)
+	}
+	return nil
+}
+
+// SizeOf returns the rounded size of a live block, or 0.
+func (a *Allocator) SizeOf(addr uint64) uint64 { return a.sizes[addr] }
+
+// LiveBytes returns currently allocated bytes.
+func (a *Allocator) LiveBytes() uint64 { return a.liveBytes }
+
+// PeakBytes returns the high-water mark.
+func (a *Allocator) PeakBytes() uint64 { return a.peakBytes }
+
+// Brk returns the current break (bytes ever carved from the region).
+func (a *Allocator) Brk() uint64 { return a.brk }
+
+// Contains reports whether addr falls inside the allocator's region.
+func (a *Allocator) Contains(addr uint64) bool {
+	return addr >= a.base && addr < a.limit
+}
+
+// LiveBlocks returns the addresses of live blocks, sorted (testing aid).
+func (a *Allocator) LiveBlocks() []uint64 {
+	out := make([]uint64, 0, len(a.sizes))
+	for addr := range a.sizes {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

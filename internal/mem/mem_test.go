@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guest"
+)
+
+func alloc(t *testing.T) *Allocator {
+	t.Helper()
+	return New(guest.HeapBase, guest.HeapLimit)
+}
+
+func TestAllocAlignmentAndGrowth(t *testing.T) {
+	a := alloc(t)
+	p1 := a.Alloc(1)
+	p2 := a.Alloc(17)
+	if p1%16 != 0 || p2%16 != 0 {
+		t.Fatalf("misaligned: %#x %#x", p1, p2)
+	}
+	if p2 != p1+16 {
+		t.Fatalf("bump layout: %#x then %#x", p1, p2)
+	}
+	if a.SizeOf(p2) != 32 {
+		t.Fatalf("rounded size = %d", a.SizeOf(p2))
+	}
+}
+
+func TestRecyclingLIFO(t *testing.T) {
+	a := alloc(t)
+	p := a.Alloc(32)
+	q := a.Alloc(32)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: the most recently freed block comes back first.
+	if got := a.Alloc(32); got != q {
+		t.Fatalf("recycled %#x, want %#x", got, q)
+	}
+	if got := a.Alloc(32); got != p {
+		t.Fatalf("recycled %#x, want %#x", got, p)
+	}
+}
+
+func TestNoRecycleMode(t *testing.T) {
+	a := alloc(t)
+	a.Recycle = false
+	p := a.Alloc(8)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Alloc(8); got == p {
+		t.Fatal("address recycled despite Recycle=false")
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := alloc(t)
+	if err := a.Free(0); err != nil {
+		t.Fatal("free(NULL) must be a no-op")
+	}
+	if err := a.Free(guest.HeapBase + 64); err == nil {
+		t.Fatal("wild free accepted")
+	}
+	p := a.Alloc(8)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(guest.HeapBase, guest.HeapBase+64)
+	if a.Alloc(48) == 0 {
+		t.Fatal("first alloc failed")
+	}
+	if a.Alloc(48) != 0 {
+		t.Fatal("over-allocation succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := alloc(t)
+	p := a.Alloc(100) // rounds to 112
+	if a.LiveBytes() != 112 || a.PeakBytes() != 112 {
+		t.Fatalf("live=%d peak=%d", a.LiveBytes(), a.PeakBytes())
+	}
+	_ = a.Free(p)
+	if a.LiveBytes() != 0 || a.PeakBytes() != 112 {
+		t.Fatalf("after free live=%d peak=%d", a.LiveBytes(), a.PeakBytes())
+	}
+	if a.TotalAlloc != 1 || a.TotalFree != 1 {
+		t.Fatalf("counters %d/%d", a.TotalAlloc, a.TotalFree)
+	}
+	if !a.Contains(p) || a.Contains(guest.HeapLimit) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// Property: live blocks never overlap, regardless of the alloc/free
+// sequence.
+func TestQuickLiveBlocksDisjoint(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := New(guest.HeapBase, guest.HeapLimit)
+		var live []uint64
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op/3) % len(live)
+				if a.Free(live[idx]) != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			size := uint64(op%256) + 1
+			p := a.Alloc(size)
+			if p == 0 {
+				return false
+			}
+			live = append(live, p)
+		}
+		blocks := a.LiveBlocks()
+		for i := 1; i < len(blocks); i++ {
+			if blocks[i-1]+a.SizeOf(blocks[i-1]) > blocks[i] {
+				return false
+			}
+		}
+		return len(blocks) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundZero(t *testing.T) {
+	if Round(0) != 16 || Round(16) != 16 || Round(17) != 32 {
+		t.Fatal("Round wrong")
+	}
+}

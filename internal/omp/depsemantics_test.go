@@ -1,0 +1,166 @@
+package omp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// depSpec is one task's dependence list in the random-DAG property test.
+type depSpec struct {
+	addrIdx int
+	kind    uint64
+}
+
+// mustPrecede computes the OpenMP dependence ordering for a creation-order
+// sequence of dependence lists: per address, an in-task depends on the last
+// writer set; a writer depends on the last writer set and the readers since.
+// (inoutset/mutexinoutset are exercised by their dedicated tests; this model
+// covers in/out/inout, the combinations DRB exercises most.)
+func mustPrecede(specs [][]depSpec, naddrs int) map[[2]int]bool {
+	type slot struct {
+		writers []int
+		readers []int
+	}
+	slots := make([]slot, naddrs)
+	ordered := map[[2]int]bool{}
+	dep := func(pred, succ int) {
+		if pred != succ {
+			ordered[[2]int{pred, succ}] = true
+		}
+	}
+	for task, deps := range specs {
+		for _, d := range deps {
+			s := &slots[d.addrIdx]
+			switch d.kind {
+			case ompt.DepIn:
+				for _, w := range s.writers {
+					dep(w, task)
+				}
+				s.readers = append(s.readers, task)
+			default: // out / inout
+				for _, w := range s.writers {
+					dep(w, task)
+				}
+				for _, r := range s.readers {
+					dep(r, task)
+				}
+				s.writers = []int{task}
+				s.readers = nil
+			}
+		}
+	}
+	return ordered
+}
+
+// buildDepDAGProgram emits: each task first checks that every model-required
+// predecessor has set its done flag (accumulating violations into a global),
+// then sets its own flag. The exit code is the violation count — nonzero
+// means the runtime executed a task before a dependence predecessor
+// finished.
+func buildDepDAGProgram(specs [][]depSpec, naddrs int, ordered map[[2]int]bool) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("deptokens", uint64(naddrs*8))
+	b.Global("doneflags", uint64(len(specs)*8))
+	b.Global("violations", 8)
+
+	for task := range specs {
+		f := b.Func(fmt.Sprintf("task%d", task), "dag.c")
+		f.Enter(0)
+		for pred := range specs {
+			if !ordered[[2]int{pred, task}] {
+				continue
+			}
+			// if doneflags[pred] == 0: violations++ (single writer per
+			// violation slot is irrelevant; any nonzero value fails
+			// the test).
+			okL := f.NewLabel()
+			f.LoadSym(guest.R1, "doneflags")
+			f.Ld(8, guest.R2, guest.R1, int32(pred*8))
+			f.Ldi(guest.R3, 1)
+			f.Beq(guest.R2, guest.R3, okL)
+			f.LoadSym(guest.R1, "violations")
+			f.Ld(8, guest.R2, guest.R1, 0)
+			f.Addi(guest.R2, guest.R2, 1)
+			f.St(8, guest.R1, 0, guest.R2)
+			f.Bind(okL)
+		}
+		// A little work to widen the schedule window.
+		f.Ldi(guest.R4, 0)
+		spin := f.NewLabel()
+		f.Bind(spin)
+		f.Addi(guest.R4, guest.R4, 1)
+		f.Ldi(guest.R5, 12)
+		f.Blt(guest.R4, guest.R5, spin)
+		// done[self] = 1.
+		f.LoadSym(guest.R1, "doneflags")
+		f.Ldi(guest.R2, 1)
+		f.St(8, guest.R1, int32(task*8), guest.R2)
+		f.Leave()
+	}
+
+	f := b.Func("micro", "dag.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		for task, deps := range specs {
+			var ds []omp.Dep
+			for _, d := range deps {
+				ds = append(ds, omp.DepSymOff(d.kind, "deptokens", int32(d.addrIdx*8)))
+			}
+			omp.EmitTask(fn, omp.TaskOpts{Fn: fmt.Sprintf("task%d", task), Deps: ds})
+		}
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+
+	f = b.Func("main", "dag.c")
+	f.Enter(0)
+	f.Ldi(guest.R1, 0)
+	omp.Parallel(f, "micro", guest.R1, 4)
+	f.LoadSym(guest.R1, "violations")
+	f.Ld(8, guest.R0, guest.R1, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+// TestQuickDependenceSemantics: for random dependence DAGs and random
+// schedules, the runtime never runs a task before its model-required
+// predecessors completed.
+func TestQuickDependenceSemantics(t *testing.T) {
+	kinds := []uint64{ompt.DepIn, ompt.DepOut, ompt.DepInout}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+		ntasks := 4 + rng.Intn(6)
+		naddrs := 1 + rng.Intn(3)
+		specs := make([][]depSpec, ntasks)
+		for i := range specs {
+			n := 1 + rng.Intn(2)
+			for d := 0; d < n; d++ {
+				specs[i] = append(specs[i], depSpec{
+					addrIdx: rng.Intn(naddrs),
+					kind:    kinds[rng.Intn(len(kinds))],
+				})
+			}
+		}
+		ordered := mustPrecede(specs, naddrs)
+		b := buildDepDAGProgram(specs, naddrs, ordered)
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, _, err := harness.BuildAndRun(b, harness.Setup{Seed: seed, Threads: 4})
+			if err != nil || res.Err != nil {
+				t.Fatalf("trial %d seed %d: %v %v", trial, seed, err, res.Err)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("trial %d seed %d: %d dependence violations (specs %v)",
+					trial, seed, res.ExitCode, specs)
+			}
+			b = buildDepDAGProgram(specs, naddrs, ordered)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package omp_test
+
+import (
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/vm"
+)
+
+// TestDetachedTaskWaitsForFulfill: a detached task's completion is deferred
+// to omp_fulfill_event; taskwait must not pass until a sibling fulfills it,
+// and the end state must reflect both.
+func TestDetachedTaskWaitsForFulfill(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("flag", 8)
+		b.Global("det_id", 8)
+
+		f := b.Func("det", "detach.c")
+		f.LoadSym(R1, "flag")
+		f.Ldi(R2, 1)
+		f.St(8, R1, 0, R2)
+		f.Ret()
+
+		f = b.Func("ful", "detach.c")
+		f.Enter(0)
+		f.LoadSym(R1, "det_id")
+		f.Ld(8, R0, R1, 0)
+		f.Hcall("__kmp_fulfill_event")
+		f.Leave()
+
+		f = b.Func("micro", "detach.c")
+		f.Enter(0)
+		fn := f
+		omp.SingleNowait(f, func() {
+			omp.EmitTask(fn, omp.TaskOpts{Fn: "det", Flags: ompt.FlagDetached})
+			// Record the detached task's id for the fulfiller.
+			fn.Hcall("test_last_task_id")
+			fn.LoadSym(R1, "det_id")
+			fn.St(8, R1, 0, R0)
+			omp.EmitTask(fn, omp.TaskOpts{Fn: "ful"})
+			omp.Taskwait(fn)
+			// Past the taskwait: the detached task is complete.
+			fn.LoadSym(R1, "flag")
+			fn.Ld(8, R2, R1, 0)
+			fn.Muli(R2, R2, 42)
+			fn.St(8, R1, 0, R2)
+		})
+		f.Leave()
+
+		f = b.Func("main", "detach.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.LoadSym(R1, "flag")
+		f.Ld(8, R0, R1, 0)
+		f.Hlt(R0)
+		return b
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, _, err := harness.BuildAndRun(build(), harness.Setup{
+			Seed: seed, Threads: 4,
+			ExtraHost: func(reg *vm.HostRegistry, inst *harness.Instance) {
+				reg.Register("test_last_task_id", func(m *vm.Machine, th *vm.Thread) vm.HostResult {
+					return vm.HostResult{Ret: inst.OMP.LastExplicitTaskID()}
+				})
+			},
+		})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 42 {
+			t.Fatalf("seed %d: flag = %d, want 42 (detach completion ordering)", seed, res.ExitCode)
+		}
+	}
+}
+
+// TestExplicitBarrierOrders: `#pragma omp barrier` separates the two phases
+// on every thread: each thread writes its slot in phase 1 and reads its
+// neighbour's slot in phase 2.
+func TestExplicitBarrierOrders(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("slots", 8*4)
+		b.Global("sum", 8)
+
+		f := b.Func("micro", "bar.c")
+		f.Enter(32)
+		f.Call("omp_get_thread_num")
+		f.StLocal(8, 8, R0)
+		// slots[tid] = tid + 1
+		f.Muli(R1, R0, 8)
+		f.LoadSym(R2, "slots")
+		f.Add(R2, R2, R1)
+		f.Addi(R3, R0, 1)
+		f.St(8, R2, 0, R3)
+		omp.Barrier(f)
+		// read slots[(tid+1)%4] — written by the neighbour before the
+		// barrier.
+		f.LdLocal(8, R0, 8)
+		f.Addi(R0, R0, 1)
+		f.Andi(R0, R0, 3)
+		f.Muli(R1, R0, 8)
+		f.LoadSym(R2, "slots")
+		f.Add(R2, R2, R1)
+		f.Ld(8, R3, R2, 0)
+		fn := f
+		omp.Critical(f, 2, func() {
+			fn.LoadSym(guest.R9, "sum")
+			fn.Ld(8, guest.R10, guest.R9, 0)
+			fn.Add(guest.R10, guest.R10, R3)
+			fn.St(8, guest.R9, 0, guest.R10)
+		})
+		f.Leave()
+
+		f = b.Func("main", "bar.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.LoadSym(R1, "sum")
+		f.Ld(8, R0, R1, 0)
+		f.Hlt(R0)
+		return b
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, _, err := harness.BuildAndRun(build(), harness.Setup{Seed: seed, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 10 {
+			t.Fatalf("seed %d: sum = %d, want 10 (barrier must order phases)", seed, res.ExitCode)
+		}
+	}
+}
+
+// TestSingleClaimedExactlyOnce: N single constructs are each executed by
+// exactly one thread.
+func TestSingleClaimedExactlyOnce(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("count", 8)
+		f := b.Func("micro", "single.c")
+		f.Enter(0)
+		fn := f
+		for i := 0; i < 3; i++ {
+			omp.Single(f, func() {
+				omp.Critical(fn, 5, func() {
+					fn.LoadSym(guest.R9, "count")
+					fn.Ld(8, guest.R10, guest.R9, 0)
+					fn.Addi(guest.R10, guest.R10, 1)
+					fn.St(8, guest.R9, 0, guest.R10)
+				})
+			})
+		}
+		f.Leave()
+		f = b.Func("main", "single.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.LoadSym(R1, "count")
+		f.Ld(8, R0, R1, 0)
+		f.Hlt(R0)
+		return b
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, _, err := harness.BuildAndRun(build(), harness.Setup{Seed: seed, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 3 {
+			t.Fatalf("seed %d: singles executed %d times, want 3", seed, res.ExitCode)
+		}
+	}
+}
+
+// TestNestedParallelSerializes: a parallel region inside a parallel region
+// runs with a team of one (nesting disabled), and still computes correctly.
+func TestNestedParallelSerializes(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("acc", 8)
+
+	f := b.Func("inner", "nest.c")
+	fn := f
+	f.Enter(0)
+	omp.Critical(f, 3, func() {
+		fn.LoadSym(guest.R9, "acc")
+		fn.Ld(8, guest.R10, guest.R9, 0)
+		fn.Addi(guest.R10, guest.R10, 1)
+		fn.St(8, guest.R9, 0, guest.R10)
+	})
+	f.Leave()
+
+	f = b.Func("outer", "nest.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "inner", R1, 4) // nested: serialized to 1
+	f.Leave()
+
+	f = b.Func("main", "nest.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "outer", R1, 4)
+	f.LoadSym(R1, "acc")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+
+	res, inst, err := harness.BuildAndRun(b, harness.Setup{Seed: 2, Threads: 4})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	// 4 outer members × 1 serialized inner each.
+	if res.ExitCode != 4 {
+		t.Fatalf("acc = %d, want 4", res.ExitCode)
+	}
+	if inst.OMP.RegionsStarted != 5 {
+		t.Fatalf("regions = %d, want 5 (1 outer + 4 nested)", inst.OMP.RegionsStarted)
+	}
+}
+
+// TestIfZeroRunsInline: an if(0) task executes on the creating thread
+// immediately, even in a 4-thread team.
+func TestIfZeroRunsInline(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("v", 8)
+	globalWriteTask(b, "w", "if0.c", "v", 7)
+
+	f := b.Func("micro", "if0.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "w", Flags: ompt.FlagIfZero})
+		// Undeferred: the write is already visible, no taskwait needed.
+		fn.LoadSym(R1, "v")
+		fn.Ld(8, R2, R1, 0)
+		fn.Muli(R2, R2, 6)
+		fn.St(8, R1, 0, R2)
+	})
+	f.Leave()
+
+	f = b.Func("main", "if0.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.LoadSym(R1, "v")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, _, err := harness.BuildAndRun(b, harness.Setup{Seed: seed, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 42 {
+			t.Fatalf("seed %d: v = %d, want 42", seed, res.ExitCode)
+		}
+		b = rebuildIf0()
+	}
+}
+
+func rebuildIf0() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("v", 8)
+	globalWriteTask(b, "w", "if0.c", "v", 7)
+	f := b.Func("micro", "if0.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "w", Flags: ompt.FlagIfZero})
+		fn.LoadSym(R1, "v")
+		fn.Ld(8, R2, R1, 0)
+		fn.Muli(R2, R2, 6)
+		fn.St(8, R1, 0, R2)
+	})
+	f.Leave()
+	f = b.Func("main", "if0.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.LoadSym(R1, "v")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+	return b
+}
+
+func globalWriteTask(b *gbuild.Builder, name, file, sym string, val int32) {
+	f := b.Func(name, file)
+	f.LoadSym(R1, sym)
+	f.Ldi(R2, val)
+	f.St(8, R1, 0, R2)
+	f.Ret()
+}
+
+// TestForStaticCoversRange: `omp for` touches every index exactly once
+// across the team (each slot set to idx+1; the sum checks coverage).
+func TestForStaticCoversRange(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("arr", 8*16)
+
+		f := b.Func("micro", "for.c")
+		f.Enter(0)
+		omp.ForStatic(f, 16, func(idx uint8) {
+			f.Muli(R1, idx, 8)
+			f.LoadSym(R2, "arr")
+			f.Add(R2, R2, R1)
+			f.Addi(R3, idx, 1)
+			f.St(8, R2, 0, R3)
+		})
+		f.Leave()
+
+		f = b.Func("main", "for.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.LoadSym(R1, "arr")
+		f.Ldi(R0, 0)
+		for i := int32(0); i < 16; i++ {
+			f.Ld(8, R2, R1, i*8)
+			f.Add(R0, R0, R2)
+		}
+		f.Hlt(R0) // 1+2+...+16 = 136
+		return b
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, _, err := harness.BuildAndRun(build(), harness.Setup{Seed: seed, Threads: 4})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		if res.ExitCode != 136 {
+			t.Fatalf("seed %d: sum = %d, want 136", seed, res.ExitCode)
+		}
+	}
+}
+
+// TestForStaticSingleThread degenerates to a serial loop.
+func TestForStaticSingleThread(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("acc", 8)
+	f := b.Func("micro", "for1.c")
+	f.Enter(0)
+	omp.ForStatic(f, 5, func(idx uint8) {
+		f.LoadSym(R1, "acc")
+		f.Ld(8, R2, R1, 0)
+		f.Add(R2, R2, idx)
+		f.St(8, R1, 0, R2)
+	})
+	f.Leave()
+	f = b.Func("main", "for1.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 1)
+	f.LoadSym(R1, "acc")
+	f.Ld(8, R0, R1, 0)
+	f.Hlt(R0)
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Seed: 1, Threads: 1})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if res.ExitCode != 10 {
+		t.Fatalf("sum = %d, want 10", res.ExitCode)
+	}
+}

@@ -1,0 +1,306 @@
+// Package ompt is the tooling interface between the task runtimes and DBI
+// tools, modelled on OpenMP's OMPT (paper §III-A): the runtime raises
+// callbacks on scheduling events, and the built-in OMPT tool forwards them to
+// the loaded tool plugin as Valgrind-style client requests. Every analysis
+// tool in this repository (Taskgrind and the baselines) consumes the same
+// request stream, mirroring how Archer/TaskSanitizer/Taskgrind all sit on
+// OMPT in the paper.
+package ompt
+
+import (
+	"repro/internal/dbi"
+	"repro/internal/vm"
+)
+
+// Client-request codes carried by OpCreq (guest-issued) or forwarded by the
+// bridge (runtime-issued). The 0x4F00 base namespaces them ("O" "MP").
+const (
+	// CRParallelBegin: args[0]=regionID, args[1]=numThreads, args[2]=microtask fn.
+	CRParallelBegin int32 = 0x4f00 + iota
+	// CRParallelEnd: args[0]=regionID.
+	CRParallelEnd
+	// CRImplicitBegin: args[0]=regionID, args[1]=taskID, args[2]=threadNum.
+	CRImplicitBegin
+	// CRImplicitEnd: args[0]=regionID, args[1]=taskID.
+	CRImplicitEnd
+	// CRTaskCreate: args[0]=taskID, args[1]=parentTaskID, args[2]=flags,
+	// args[3]=task fn address, args[4]=descriptor guest address.
+	CRTaskCreate
+	// CRTaskDependence: args[0]=predTaskID, args[1]=succTaskID,
+	// args[2]=address, args[3]=dependence kind.
+	CRTaskDependence
+	// CRTaskBegin: args[0]=taskID. The issuing thread starts executing it.
+	CRTaskBegin
+	// CRTaskEnd: args[0]=taskID.
+	CRTaskEnd
+	// CRTaskWaitBegin / CRTaskWaitEnd: args[0]=waiting taskID.
+	CRTaskWaitBegin
+	CRTaskWaitEnd
+	// CRTaskGroupBegin / CRTaskGroupEnd: args[0]=owning taskID.
+	CRTaskGroupBegin
+	CRTaskGroupEnd
+	// CRBarrierBegin / CRBarrierEnd: args[0]=regionID, args[1]=generation.
+	CRBarrierBegin
+	CRBarrierEnd
+	// CRCriticalAcquire / CRCriticalRelease: args[0]=lockID.
+	CRCriticalAcquire
+	CRCriticalRelease
+	// CRAssumeDeferrable: args[0]=0|1. The §V-B source annotation telling
+	// Taskgrind that tasks are semantically deferrable even when the
+	// runtime serializes them (single-thread undeferred execution).
+	CRAssumeDeferrable
+	// CRDetachFulfill: args[0]=taskID whose detach event is fulfilled.
+	CRDetachFulfill
+	// CRTLSGenBump: args[0]=new generation; the issuing thread's DTV
+	// changed (models TLS reallocation, §IV-C).
+	CRTLSGenBump
+	// CRTaskDepAddr: args[0]=taskID, args[1]=address, args[2]=kind — one
+	// raw dependence entry of a task, before sibling matching. Baseline
+	// simulators that re-match dependences globally consume these.
+	CRTaskDepAddr
+	// CRTaskWaitDepPred: args[0]=waiting taskID, args[1]=predecessor
+	// taskID — one dependence a `taskwait depend(...)` waited for.
+	CRTaskWaitDepPred
+	// CRTaskWaitDepsEnd: args[0]=waiting taskID — a dependent taskwait
+	// (OpenMP 5.0) completed.
+	CRTaskWaitDepsEnd
+	// CRRelease / CRAcquire: args[0]=token — a generic happens-before
+	// release/acquire pair, used by synchronization primitives outside
+	// OpenMP's vocabulary (Qthreads full/empty bits). The segment at the
+	// release happens-before segments after a matching acquire.
+	CRRelease
+	CRAcquire
+)
+
+// Task flag bits (CRTaskCreate args[2]).
+const (
+	FlagUndeferred uint64 = 1 << iota
+	FlagMergeable
+	FlagDetached
+	FlagUntied
+	FlagFinal
+	FlagImplicit
+	// FlagDeferrableAnnotated marks tasks created while the §V-B
+	// "assume deferrable" annotation was active.
+	FlagDeferrableAnnotated
+	// FlagIfZero marks tasks made undeferred by an if(0)/final clause
+	// (as opposed to team serialization).
+	FlagIfZero
+)
+
+// Dependence kinds (CRTaskDependence args[3]).
+const (
+	DepIn uint64 = 1 + iota
+	DepOut
+	DepInout
+	DepMutexinoutset
+	DepInoutset
+)
+
+// DepKindName renders a dependence kind.
+func DepKindName(k uint64) string {
+	switch k {
+	case DepIn:
+		return "in"
+	case DepOut:
+		return "out"
+	case DepInout:
+		return "inout"
+	case DepMutexinoutset:
+		return "mutexinoutset"
+	case DepInoutset:
+		return "inoutset"
+	}
+	return "?"
+}
+
+// Events is the callback set a runtime raises; it mirrors the OMPT callback
+// table registered by an OMPT tool.
+type Events interface {
+	ParallelBegin(t *vm.Thread, regionID uint64, numThreads int, fnAddr uint64)
+	ParallelEnd(t *vm.Thread, regionID uint64)
+	ImplicitBegin(t *vm.Thread, regionID, taskID uint64, threadNum int)
+	ImplicitEnd(t *vm.Thread, regionID, taskID uint64)
+	TaskCreate(t *vm.Thread, taskID, parentID, flags, fnAddr, descAddr uint64)
+	TaskDependence(t *vm.Thread, predID, succID, addr, kind uint64)
+	TaskDepRaw(t *vm.Thread, taskID, addr, kind uint64)
+	TaskBegin(t *vm.Thread, taskID uint64)
+	TaskEnd(t *vm.Thread, taskID uint64)
+	TaskWaitBegin(t *vm.Thread, taskID uint64)
+	TaskWaitEnd(t *vm.Thread, taskID uint64)
+	TaskWaitDeps(t *vm.Thread, taskID uint64, preds []uint64)
+	TaskGroupBegin(t *vm.Thread, taskID uint64)
+	TaskGroupEnd(t *vm.Thread, taskID uint64)
+	BarrierBegin(t *vm.Thread, regionID, gen uint64)
+	BarrierEnd(t *vm.Thread, regionID, gen uint64)
+	CriticalAcquire(t *vm.Thread, lockID uint64)
+	CriticalRelease(t *vm.Thread, lockID uint64)
+	Release(t *vm.Thread, token uint64)
+	Acquire(t *vm.Thread, token uint64)
+}
+
+// NopEvents is an embeddable no-op Events implementation.
+type NopEvents struct{}
+
+// ParallelBegin implements Events.
+func (NopEvents) ParallelBegin(*vm.Thread, uint64, int, uint64) {}
+
+// ParallelEnd implements Events.
+func (NopEvents) ParallelEnd(*vm.Thread, uint64) {}
+
+// ImplicitBegin implements Events.
+func (NopEvents) ImplicitBegin(*vm.Thread, uint64, uint64, int) {}
+
+// ImplicitEnd implements Events.
+func (NopEvents) ImplicitEnd(*vm.Thread, uint64, uint64) {}
+
+// TaskCreate implements Events.
+func (NopEvents) TaskCreate(*vm.Thread, uint64, uint64, uint64, uint64, uint64) {}
+
+// TaskDependence implements Events.
+func (NopEvents) TaskDependence(*vm.Thread, uint64, uint64, uint64, uint64) {}
+
+// TaskDepRaw implements Events.
+func (NopEvents) TaskDepRaw(*vm.Thread, uint64, uint64, uint64) {}
+
+// TaskBegin implements Events.
+func (NopEvents) TaskBegin(*vm.Thread, uint64) {}
+
+// TaskEnd implements Events.
+func (NopEvents) TaskEnd(*vm.Thread, uint64) {}
+
+// TaskWaitBegin implements Events.
+func (NopEvents) TaskWaitBegin(*vm.Thread, uint64) {}
+
+// TaskWaitEnd implements Events.
+func (NopEvents) TaskWaitEnd(*vm.Thread, uint64) {}
+
+// TaskWaitDeps implements Events.
+func (NopEvents) TaskWaitDeps(*vm.Thread, uint64, []uint64) {}
+
+// TaskGroupBegin implements Events.
+func (NopEvents) TaskGroupBegin(*vm.Thread, uint64) {}
+
+// TaskGroupEnd implements Events.
+func (NopEvents) TaskGroupEnd(*vm.Thread, uint64) {}
+
+// BarrierBegin implements Events.
+func (NopEvents) BarrierBegin(*vm.Thread, uint64, uint64) {}
+
+// BarrierEnd implements Events.
+func (NopEvents) BarrierEnd(*vm.Thread, uint64, uint64) {}
+
+// CriticalAcquire implements Events.
+func (NopEvents) CriticalAcquire(*vm.Thread, uint64) {}
+
+// CriticalRelease implements Events.
+func (NopEvents) CriticalRelease(*vm.Thread, uint64) {}
+
+// Release implements Events.
+func (NopEvents) Release(*vm.Thread, uint64) {}
+
+// Acquire implements Events.
+func (NopEvents) Acquire(*vm.Thread, uint64) {}
+
+// Bridge is the built-in OMPT tool: it converts runtime callbacks into
+// client requests delivered to the loaded DBI tool plugin. It is injected
+// automatically when a tool is present (paper: "the OMPT-tool is
+// automatically injected into the instrumented program by Taskgrind").
+type Bridge struct {
+	Core *dbi.Core
+}
+
+var _ Events = (*Bridge)(nil)
+
+func (b *Bridge) req(t *vm.Thread, code int32, args ...uint64) {
+	var a [6]uint64
+	copy(a[:], args)
+	b.Core.ClientRequestFromHost(t, code, a)
+}
+
+// ParallelBegin implements Events.
+func (b *Bridge) ParallelBegin(t *vm.Thread, regionID uint64, n int, fnAddr uint64) {
+	b.req(t, CRParallelBegin, regionID, uint64(n), fnAddr)
+}
+
+// ParallelEnd implements Events.
+func (b *Bridge) ParallelEnd(t *vm.Thread, regionID uint64) {
+	b.req(t, CRParallelEnd, regionID)
+}
+
+// ImplicitBegin implements Events.
+func (b *Bridge) ImplicitBegin(t *vm.Thread, regionID, taskID uint64, threadNum int) {
+	b.req(t, CRImplicitBegin, regionID, taskID, uint64(threadNum))
+}
+
+// ImplicitEnd implements Events.
+func (b *Bridge) ImplicitEnd(t *vm.Thread, regionID, taskID uint64) {
+	b.req(t, CRImplicitEnd, regionID, taskID)
+}
+
+// TaskCreate implements Events.
+func (b *Bridge) TaskCreate(t *vm.Thread, taskID, parentID, flags, fnAddr, descAddr uint64) {
+	b.req(t, CRTaskCreate, taskID, parentID, flags, fnAddr, descAddr)
+}
+
+// TaskDependence implements Events.
+func (b *Bridge) TaskDependence(t *vm.Thread, predID, succID, addr, kind uint64) {
+	b.req(t, CRTaskDependence, predID, succID, addr, kind)
+}
+
+// TaskDepRaw implements Events.
+func (b *Bridge) TaskDepRaw(t *vm.Thread, taskID, addr, kind uint64) {
+	b.req(t, CRTaskDepAddr, taskID, addr, kind)
+}
+
+// TaskBegin implements Events.
+func (b *Bridge) TaskBegin(t *vm.Thread, taskID uint64) { b.req(t, CRTaskBegin, taskID) }
+
+// TaskEnd implements Events.
+func (b *Bridge) TaskEnd(t *vm.Thread, taskID uint64) { b.req(t, CRTaskEnd, taskID) }
+
+// TaskWaitBegin implements Events.
+func (b *Bridge) TaskWaitBegin(t *vm.Thread, taskID uint64) { b.req(t, CRTaskWaitBegin, taskID) }
+
+// TaskWaitEnd implements Events.
+func (b *Bridge) TaskWaitEnd(t *vm.Thread, taskID uint64) { b.req(t, CRTaskWaitEnd, taskID) }
+
+// TaskWaitDeps implements Events.
+func (b *Bridge) TaskWaitDeps(t *vm.Thread, taskID uint64, preds []uint64) {
+	for _, p := range preds {
+		b.req(t, CRTaskWaitDepPred, taskID, p)
+	}
+	b.req(t, CRTaskWaitDepsEnd, taskID)
+}
+
+// TaskGroupBegin implements Events.
+func (b *Bridge) TaskGroupBegin(t *vm.Thread, taskID uint64) { b.req(t, CRTaskGroupBegin, taskID) }
+
+// TaskGroupEnd implements Events.
+func (b *Bridge) TaskGroupEnd(t *vm.Thread, taskID uint64) { b.req(t, CRTaskGroupEnd, taskID) }
+
+// BarrierBegin implements Events.
+func (b *Bridge) BarrierBegin(t *vm.Thread, regionID, gen uint64) {
+	b.req(t, CRBarrierBegin, regionID, gen)
+}
+
+// BarrierEnd implements Events.
+func (b *Bridge) BarrierEnd(t *vm.Thread, regionID, gen uint64) {
+	b.req(t, CRBarrierEnd, regionID, gen)
+}
+
+// CriticalAcquire implements Events.
+func (b *Bridge) CriticalAcquire(t *vm.Thread, lockID uint64) {
+	b.req(t, CRCriticalAcquire, lockID)
+}
+
+// CriticalRelease implements Events.
+func (b *Bridge) CriticalRelease(t *vm.Thread, lockID uint64) {
+	b.req(t, CRCriticalRelease, lockID)
+}
+
+// Release implements Events.
+func (b *Bridge) Release(t *vm.Thread, token uint64) { b.req(t, CRRelease, token) }
+
+// Acquire implements Events.
+func (b *Bridge) Acquire(t *vm.Thread, token uint64) { b.req(t, CRAcquire, token) }

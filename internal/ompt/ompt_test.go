@@ -1,0 +1,126 @@
+package ompt_test
+
+import (
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/ompt"
+	"repro/internal/vex"
+	"repro/internal/vm"
+)
+
+// capture is a tool that records every client request it receives.
+type capture struct {
+	dbi.NopTool
+	codes []int32
+	args  [][6]uint64
+}
+
+func (c *capture) Name() string { return "capture" }
+func (c *capture) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uint64 {
+	c.codes = append(c.codes, code)
+	c.args = append(c.args, args)
+	return 1
+}
+func (c *capture) Instrument(_ *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock { return sb }
+
+// newBridge builds a minimal machine + core + bridge for event tests.
+func newBridge(t *testing.T) (*ompt.Bridge, *capture, *vm.Thread) {
+	t.Helper()
+	b := gbuild.New()
+	f := b.Func("main", "x.c")
+	f.Hlt(guest.R0)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(im, vm.NewHostRegistry(), vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &capture{}
+	core := dbi.New(m, cap)
+	return &ompt.Bridge{Core: core}, cap, m.Thread(0)
+}
+
+// TestBridgeEncodesEveryEvent drives every Events method and checks the
+// request codes arrive in order with their arguments.
+func TestBridgeEncodesEveryEvent(t *testing.T) {
+	br, cap, th := newBridge(t)
+	br.ParallelBegin(th, 1, 4, 0x2000)
+	br.ImplicitBegin(th, 1, 10, 2)
+	br.TaskCreate(th, 11, 10, ompt.FlagUndeferred, 0x3000, 0x50000000)
+	br.TaskDepRaw(th, 11, 0x1234, ompt.DepOut)
+	br.TaskDependence(th, 7, 11, 0x1234, ompt.DepOut)
+	br.TaskBegin(th, 11)
+	br.TaskEnd(th, 11)
+	br.TaskWaitBegin(th, 10)
+	br.TaskWaitEnd(th, 10)
+	br.TaskWaitDeps(th, 10, []uint64{7, 11})
+	br.TaskGroupBegin(th, 10)
+	br.TaskGroupEnd(th, 10)
+	br.BarrierBegin(th, 1, 0)
+	br.BarrierEnd(th, 1, 1)
+	br.CriticalAcquire(th, 9)
+	br.CriticalRelease(th, 9)
+	br.Release(th, 0x77)
+	br.Acquire(th, 0x77)
+	br.ImplicitEnd(th, 1, 10)
+	br.ParallelEnd(th, 1)
+
+	want := []int32{
+		ompt.CRParallelBegin, ompt.CRImplicitBegin, ompt.CRTaskCreate,
+		ompt.CRTaskDepAddr, ompt.CRTaskDependence, ompt.CRTaskBegin,
+		ompt.CRTaskEnd, ompt.CRTaskWaitBegin, ompt.CRTaskWaitEnd,
+		ompt.CRTaskWaitDepPred, ompt.CRTaskWaitDepPred, ompt.CRTaskWaitDepsEnd,
+		ompt.CRTaskGroupBegin, ompt.CRTaskGroupEnd,
+		ompt.CRBarrierBegin, ompt.CRBarrierEnd,
+		ompt.CRCriticalAcquire, ompt.CRCriticalRelease,
+		ompt.CRRelease, ompt.CRAcquire,
+		ompt.CRImplicitEnd, ompt.CRParallelEnd,
+	}
+	if len(cap.codes) != len(want) {
+		t.Fatalf("got %d requests, want %d", len(cap.codes), len(want))
+	}
+	for i, w := range want {
+		if cap.codes[i] != w {
+			t.Errorf("request %d = %#x, want %#x", i, cap.codes[i], w)
+		}
+	}
+	// Spot-check arguments.
+	if cap.args[0] != [6]uint64{1, 4, 0x2000, 0, 0, 0} {
+		t.Errorf("ParallelBegin args = %v", cap.args[0])
+	}
+	if cap.args[2] != [6]uint64{11, 10, ompt.FlagUndeferred, 0x3000, 0x50000000, 0} {
+		t.Errorf("TaskCreate args = %v", cap.args[2])
+	}
+	if cap.args[9] != [6]uint64{10, 7, 0, 0, 0, 0} || cap.args[10] != [6]uint64{10, 11, 0, 0, 0, 0} {
+		t.Errorf("TaskWaitDeps preds = %v / %v", cap.args[9], cap.args[10])
+	}
+}
+
+// TestNopEventsIsComplete ensures NopEvents satisfies the interface (compile
+// check) and is callable.
+func TestNopEventsIsComplete(t *testing.T) {
+	var e ompt.Events = ompt.NopEvents{}
+	e.ParallelBegin(nil, 0, 0, 0)
+	e.TaskWaitDeps(nil, 0, nil)
+	e.Release(nil, 0)
+	e.Acquire(nil, 0)
+}
+
+// TestDepKindNames covers the dependence-kind renderer.
+func TestDepKindNames(t *testing.T) {
+	want := map[uint64]string{
+		ompt.DepIn: "in", ompt.DepOut: "out", ompt.DepInout: "inout",
+		ompt.DepMutexinoutset: "mutexinoutset", ompt.DepInoutset: "inoutset",
+		99: "?",
+	}
+	for k, s := range want {
+		if ompt.DepKindName(k) != s {
+			t.Errorf("%d -> %q", k, ompt.DepKindName(k))
+		}
+	}
+}

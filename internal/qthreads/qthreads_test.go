@@ -1,0 +1,307 @@
+package qthreads_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/qthreads"
+	"repro/internal/vm"
+)
+
+const (
+	r0 = guest.R0
+	r1 = guest.R1
+	r2 = guest.R2
+	r9 = guest.R9
+)
+
+// producerConsumer builds: a forked qthread computes a value into a shared
+// global and publishes through writeEF on a FEB cell; the main strand
+// readFFs the cell and then reads the shared global. With FEB the data-flow
+// is ordered; without (the racy variant skips the FEB and spins on a plain
+// flag) the global is racy.
+func producerConsumer(useFEB bool) *gbuild.Builder {
+	b := omp.NewProgram()
+	qthreads.EmitPrelude(b)
+	b.Global("cell", 8)   // FEB word
+	b.Global("shared", 8) // payload guarded by the FEB
+	b.Global("result", 8)
+
+	f := b.Func("producer", "pc.c")
+	f.Line(10)
+	f.LoadSym(r1, "shared")
+	f.Ldi(r2, 42)
+	f.St(8, r1, 0, r2)
+	if useFEB {
+		f.Enter(0)
+		f.LoadSym(r0, "cell")
+		f.Ldi(r1, 1)
+		qthreads.WriteEF(f, r0, r1)
+		f.Leave()
+	} else {
+		// Plain flag store: no happens-before.
+		f.LoadSym(r1, "cell")
+		f.Ldi(r2, 1)
+		f.St(8, r1, 0, r2)
+	}
+	if !useFEB {
+		f.Ret()
+	}
+
+	f = b.Func("micro", "pc.c")
+	f.Line(20)
+	f.Enter(16)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.AssumeDeferrable(fn, true)
+		qthreads.Fork(fn, "producer", 0, nil)
+		if useFEB {
+			fn.LoadSym(r0, "cell")
+			qthreads.ReadFF(fn, r0)
+		} else {
+			// Spin on the flag (synchronizes nothing).
+			spin := fn.NewLabel()
+			fn.Bind(spin)
+			fn.Hcall("sched_yield")
+			fn.LoadSym(r1, "cell")
+			fn.Ld(8, r1, r1, 0)
+			fn.Ldi(r2, 0)
+			fn.Beq(r1, r2, spin)
+		}
+		fn.Line(30)
+		fn.LoadSym(r1, "shared")
+		fn.Ld(8, r2, r1, 0)
+		fn.LoadSym(r1, "result")
+		fn.St(8, r1, 0, r2)
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+
+	f = b.Func("main", "pc.c")
+	f.Enter(0)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 4)
+	f.LoadSym(r1, "result")
+	f.Ld(8, r0, r1, 0)
+	f.Hlt(r0)
+	return b
+}
+
+func runQT(t *testing.T, b *gbuild.Builder, tool *core.Taskgrind, seed uint64, threads int) harness.Result {
+	t.Helper()
+	var dt interface {
+		Name() string
+	}
+	_ = dt
+	setup := harness.Setup{Seed: seed, Threads: threads,
+		ExtraHost: func(reg *vm.HostRegistry, inst *harness.Instance) {
+			qthreads.New(inst.OMP).Install(reg)
+		}}
+	if tool != nil {
+		setup.Tool = tool
+	}
+	res, _, err := harness.BuildAndRun(b, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res
+}
+
+// TestFEBOrdersDataFlow: readFF blocks until the producer's writeEF, so the
+// consumer always sees 42 and Taskgrind reports nothing.
+func TestFEBOrdersDataFlow(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		tg := core.New(core.DefaultOptions())
+		res := runQT(t, producerConsumer(true), tg, seed, 4)
+		if res.ExitCode != 42 {
+			t.Fatalf("seed %d: result = %d, want 42", seed, res.ExitCode)
+		}
+		if tg.RaceCount != 0 {
+			t.Fatalf("seed %d: FEB-ordered program reported %d races:\n%s",
+				seed, tg.RaceCount, tg.Reports.String())
+		}
+	}
+}
+
+// TestPlainFlagIsRacy: spinning on an ordinary flag provides no
+// happens-before — Taskgrind reports the shared-variable race (and the
+// flag itself).
+func TestPlainFlagIsRacy(t *testing.T) {
+	tg := core.New(core.DefaultOptions())
+	res := runQT(t, producerConsumer(false), tg, 3, 4)
+	if res.ExitCode != 42 {
+		t.Fatalf("result = %d", res.ExitCode)
+	}
+	if tg.RaceCount == 0 {
+		t.Fatal("unsynchronized flag handoff not reported")
+	}
+}
+
+// TestFEBBlocksUntilFull: the consumer must actually block (not busy-read
+// stale data) when the producer is delayed.
+func TestFEBBlocksUntilFull(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		res := runQT(t, producerConsumer(true), nil, seed, 1)
+		if res.ExitCode != 42 {
+			t.Fatalf("seed %d (1 thread): result = %d", seed, res.ExitCode)
+		}
+	}
+}
+
+// TestFillAndEmpty exercises qthread_fill / qthread_empty host calls.
+func TestFillAndEmpty(t *testing.T) {
+	b := omp.NewProgram()
+	qthreads.EmitPrelude(b)
+	b.Global("cell", 8)
+	f := b.Func("main", "fe.c")
+	f.Enter(0)
+	f.LoadSym(r0, "cell")
+	f.Hcall("qt_feb_fill") // mark full without a write
+	f.LoadSym(r0, "cell")
+	qthreads.ReadFF(f, r0) // returns immediately (cell content 0)
+	f.LoadSym(r0, "cell")
+	f.Hcall("qt_feb_empty")
+	f.Ldi(r0, 7)
+	f.Hlt(r0)
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Seed: 1, Threads: 1,
+		ExtraHost: func(reg *vm.HostRegistry, inst *harness.Instance) {
+			qthreads.New(inst.OMP).Install(reg)
+		}})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if res.ExitCode != 7 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+// TestPipelineOfFEBStages: a three-stage producer pipeline where each stage
+// reads its input cell with readFF and publishes its output with writeEF —
+// the canonical Qthreads dataflow shape. Values must flow in order and
+// Taskgrind must see no races.
+func TestPipelineOfFEBStages(t *testing.T) {
+	b := omp.NewProgram()
+	qthreads.EmitPrelude(b)
+	b.Global("c0", 8)
+	b.Global("c1", 8)
+	b.Global("c2", 8)
+	b.Global("out", 8)
+
+	// stage(srcSym, dstSym): out = in*2 through FEB cells.
+	stage := func(name, src, dst string) {
+		f := b.Func(name, "pipe.c")
+		f.Enter(0)
+		f.LoadSym(r0, src)
+		qthreads.ReadFF(f, r0) // r0 = value
+		f.Muli(r1, r0, 2)
+		f.LoadSym(r0, dst)
+		qthreads.WriteEF(f, r0, r1)
+		f.Leave()
+	}
+	stage("s1", "c0", "c1")
+	stage("s2", "c1", "c2")
+
+	f := b.Func("sink", "pipe.c")
+	f.Enter(0)
+	f.LoadSym(r0, "c2")
+	qthreads.ReadFF(f, r0)
+	f.LoadSym(r1, "out")
+	f.St(8, r1, 0, r0)
+	f.Leave()
+
+	f = b.Func("micro", "pipe.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.AssumeDeferrable(fn, true)
+		// Forked in reverse order: the pipeline still resolves through
+		// the full/empty bits.
+		qthreads.Fork(fn, "sink", 0, nil)
+		qthreads.Fork(fn, "s2", 0, nil)
+		qthreads.Fork(fn, "s1", 0, nil)
+		// Feed the head.
+		fn.LoadSym(r0, "c0")
+		fn.Ldi(r1, 10)
+		qthreads.WriteEF(fn, r0, r1)
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+
+	f = b.Func("main", "pipe.c")
+	f.Enter(0)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 4)
+	f.LoadSym(r1, "out")
+	f.Ld(8, r0, r1, 0)
+	f.Hlt(r0)
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		tg := core.New(core.DefaultOptions())
+		res := runQT(t, b, tg, seed, 4)
+		if res.ExitCode != 40 {
+			t.Fatalf("seed %d: pipeline out = %d, want 40", seed, res.ExitCode)
+		}
+		if tg.RaceCount != 0 {
+			t.Fatalf("seed %d: FEB pipeline reported %d races:\n%s",
+				seed, tg.RaceCount, tg.Reports.String())
+		}
+		b = rebuildPipeline()
+	}
+}
+
+func rebuildPipeline() *gbuild.Builder {
+	b := omp.NewProgram()
+	qthreads.EmitPrelude(b)
+	b.Global("c0", 8)
+	b.Global("c1", 8)
+	b.Global("c2", 8)
+	b.Global("out", 8)
+	stage := func(name, src, dst string) {
+		f := b.Func(name, "pipe.c")
+		f.Enter(0)
+		f.LoadSym(r0, src)
+		qthreads.ReadFF(f, r0)
+		f.Muli(r1, r0, 2)
+		f.LoadSym(r0, dst)
+		qthreads.WriteEF(f, r0, r1)
+		f.Leave()
+	}
+	stage("s1", "c0", "c1")
+	stage("s2", "c1", "c2")
+	f := b.Func("sink", "pipe.c")
+	f.Enter(0)
+	f.LoadSym(r0, "c2")
+	qthreads.ReadFF(f, r0)
+	f.LoadSym(r1, "out")
+	f.St(8, r1, 0, r0)
+	f.Leave()
+	f = b.Func("micro", "pipe.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.AssumeDeferrable(fn, true)
+		qthreads.Fork(fn, "sink", 0, nil)
+		qthreads.Fork(fn, "s2", 0, nil)
+		qthreads.Fork(fn, "s1", 0, nil)
+		fn.LoadSym(r0, "c0")
+		fn.Ldi(r1, 10)
+		qthreads.WriteEF(fn, r0, r1)
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+	f = b.Func("main", "pipe.c")
+	f.Enter(0)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 4)
+	f.LoadSym(r1, "out")
+	f.Ld(8, r0, r1, 0)
+	f.Hlt(r0)
+	return b
+}

@@ -1,0 +1,135 @@
+// Package report defines determinacy-race reports and their rendering — the
+// "meaningful error reports" deliverable of the paper (§V-C, Listing 6):
+// the two segments declared independent, the conflicting byte range, and the
+// allocation block it belongs to, all resolved to source locations through
+// debug info.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MemRegion classifies where a conflicting range lives.
+type MemRegion uint8
+
+// Memory regions.
+const (
+	RegionGlobal MemRegion = iota
+	RegionHeap
+	RegionPool // runtime fast-pool (task descriptors / payloads)
+	RegionTLS
+	RegionStack
+)
+
+// String renders a region name.
+func (r MemRegion) String() string {
+	switch r {
+	case RegionGlobal:
+		return "global"
+	case RegionHeap:
+		return "heap"
+	case RegionPool:
+		return "runtime-pool"
+	case RegionTLS:
+		return "tls"
+	case RegionStack:
+		return "stack"
+	}
+	return "?"
+}
+
+// Range is one conflicting byte span inside a race.
+type Range struct {
+	Lo, Hi uint64
+	Region MemRegion
+	// Block describes the containing heap allocation, when any.
+	BlockAddr uint64
+	BlockSize uint64
+	// BlockStack is the allocation stack resolved to source locations.
+	BlockStack []string
+}
+
+// Race is one determinacy-race report: a pair of segments declared
+// independent that access overlapping memory with at least one write.
+type Race struct {
+	// SegA / SegB label the two segments by construct location
+	// (e.g. "task.c:8").
+	SegA, SegB string
+	// ThreadA / ThreadB are the executing guest threads.
+	ThreadA, ThreadB int
+	// Write reports which sides wrote ("w/w", "w/r", "r/w").
+	Kind string
+	// Ranges are the conflicting byte spans (merged).
+	Ranges []Range
+}
+
+// Bytes sums the conflicting bytes.
+func (r *Race) Bytes() uint64 {
+	var n uint64
+	for _, rg := range r.Ranges {
+		n += rg.Hi - rg.Lo
+	}
+	return n
+}
+
+// String renders the report in the paper's Listing 6 style.
+func (r *Race) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Segments %s and %s were declared independent while accessing the same memory address (%s)\n",
+		r.SegA, r.SegB, r.Kind)
+	for _, rg := range r.Ranges {
+		fmt.Fprintf(&b, "  %d bytes from 0x%X (%s)", rg.Hi-rg.Lo, rg.Lo, rg.Region)
+		if rg.BlockAddr != 0 {
+			fmt.Fprintf(&b, " allocated in block 0x%X of size %d", rg.BlockAddr, rg.BlockSize)
+			if len(rg.BlockStack) > 0 {
+				fmt.Fprintf(&b, "\n    from %s", strings.Join(rg.BlockStack, "\n         "))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Set is an ordered collection of races with dedup by segment pair.
+type Set struct {
+	Races []*Race
+}
+
+// Add appends a race.
+func (s *Set) Add(r *Race) { s.Races = append(s.Races, r) }
+
+// Len returns the report count — the paper's "N° of reports" metric counts
+// conflicting segment pairs.
+func (s *Set) Len() int { return len(s.Races) }
+
+// Sort orders reports deterministically (by labels then threads).
+func (s *Set) Sort() {
+	sort.Slice(s.Races, func(i, j int) bool {
+		a, b := s.Races[i], s.Races[j]
+		if a.SegA != b.SegA {
+			return a.SegA < b.SegA
+		}
+		if a.SegB != b.SegB {
+			return a.SegB < b.SegB
+		}
+		if a.ThreadA != b.ThreadA {
+			return a.ThreadA < b.ThreadA
+		}
+		if len(a.Ranges) > 0 && len(b.Ranges) > 0 {
+			return a.Ranges[0].Lo < b.Ranges[0].Lo
+		}
+		return a.ThreadB < b.ThreadB
+	})
+}
+
+// String renders all reports.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, r := range s.Races {
+		fmt.Fprintf(&b, "==%d== %s", i+1, r)
+	}
+	fmt.Fprintf(&b, "== %d determinacy race report(s)\n", len(s.Races))
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Race {
+	return &Race{
+		SegA: "task.c:8", SegB: "task.c:11",
+		ThreadA: 1, ThreadB: 2,
+		Kind: "w/w",
+		Ranges: []Range{{
+			Lo: 0xC3EA040, Hi: 0xC3EA044, Region: RegionHeap,
+			BlockAddr: 0xC3EA040, BlockSize: 8,
+			BlockStack: []string{"task.c:3", "main (task.c:2)"},
+		}},
+	}
+}
+
+func TestRaceRenderingMatchesListing6Shape(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{
+		"Segments task.c:8 and task.c:11 were declared independent",
+		"4 bytes from 0xC3EA040",
+		"allocated in block 0xC3EA040 of size 8",
+		"from task.c:3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRaceBytes(t *testing.T) {
+	r := sample()
+	r.Ranges = append(r.Ranges, Range{Lo: 100, Hi: 116, Region: RegionStack})
+	if r.Bytes() != 20 {
+		t.Fatalf("bytes = %d", r.Bytes())
+	}
+}
+
+func TestSetSortDeterministic(t *testing.T) {
+	s := &Set{}
+	s.Add(&Race{SegA: "b.c:2", SegB: "b.c:3", Ranges: []Range{{Lo: 10, Hi: 11}}})
+	s.Add(&Race{SegA: "a.c:1", SegB: "b.c:3", Ranges: []Range{{Lo: 20, Hi: 21}}})
+	s.Add(&Race{SegA: "a.c:1", SegB: "a.c:9", Ranges: []Range{{Lo: 5, Hi: 6}}})
+	s.Sort()
+	got := []string{
+		s.Races[0].SegA + "/" + s.Races[0].SegB,
+		s.Races[1].SegA + "/" + s.Races[1].SegB,
+		s.Races[2].SegA + "/" + s.Races[2].SegB,
+	}
+	want := []string{"a.c:1/a.c:9", "a.c:1/b.c:3", "b.c:2/b.c:3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !strings.Contains(s.String(), "3 determinacy race report(s)") {
+		t.Fatalf("summary missing:\n%s", s.String())
+	}
+}
+
+func TestRegionNames(t *testing.T) {
+	want := map[MemRegion]string{
+		RegionGlobal: "global", RegionHeap: "heap", RegionPool: "runtime-pool",
+		RegionTLS: "tls", RegionStack: "stack",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d -> %q", r, r.String())
+		}
+	}
+}
+
+func TestRangeWithoutBlock(t *testing.T) {
+	r := &Race{SegA: "x:1", SegB: "y:2", Kind: "r/w",
+		Ranges: []Range{{Lo: 0x100, Hi: 0x108, Region: RegionGlobal}}}
+	out := r.String()
+	if strings.Contains(out, "allocated in block") {
+		t.Fatalf("global range rendered a heap block:\n%s", out)
+	}
+	if !strings.Contains(out, "(global)") {
+		t.Fatalf("region missing:\n%s", out)
+	}
+}

@@ -1,0 +1,460 @@
+// Package archer simulates Archer (Atzeni et al., IPDPS'16): a
+// ThreadSanitizer-based, compile-time-instrumented, *thread-centric* data
+// race detector with OpenMP sync annotations.
+//
+// The algorithm is an online vector-clock race detector: every thread owns a
+// clock, runtime synchronizations perform release/acquire transfers, and
+// each instrumented access is checked against per-address shadow state.
+//
+// Its structural weakness — the reason the paper builds Taskgrind — is
+// thread-centricity: two accesses by the same thread are always ordered by
+// program order, so tasks the runtime serializes (single-thread execution,
+// undeferred tasks) can never race. That is where Archer's false negatives
+// in Table I/II come from, and they emerge from this implementation rather
+// than being hard-coded.
+package archer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dbi"
+	"repro/internal/guest"
+	"repro/internal/ompt"
+	"repro/internal/vex"
+	"repro/internal/vm"
+)
+
+// VC is a vector clock indexed by thread id.
+type VC []uint32
+
+func (v VC) clone() VC { return append(VC(nil), v...) }
+
+// ensure grows the clock to cover tid.
+func (v *VC) ensure(tid int) {
+	for len(*v) <= tid {
+		*v = append(*v, 0)
+	}
+}
+
+// acquire merges o into v (pointwise max).
+func (v *VC) acquire(o VC) {
+	v.ensure(len(o) - 1)
+	for i, c := range o {
+		if c > (*v)[i] {
+			(*v)[i] = c
+		}
+	}
+}
+
+// covers reports whether epoch (tid, clk) happened-before v.
+func (v VC) covers(tid int, clk uint32) bool {
+	return tid < len(v) && v[tid] >= clk
+}
+
+// maxTrackedThreads bounds the per-cell read slots (like TSan's fixed
+// shadow-cell count).
+const maxTrackedThreads = 16
+
+// cell is the per-8-byte-granule shadow state. wClk == 0 means no recorded
+// write (thread clocks start at 1); a read slot with clk == 0 is empty.
+type cell struct {
+	wTid  int32
+	wClk  uint32
+	wPC   uint64
+	reads [maxTrackedThreads]readSlot
+}
+
+type readSlot struct {
+	clk uint32
+	pc  uint64
+}
+
+// shadowPage is a direct-mapped block of cells (4 KiB of guest memory).
+type shadowPage [512]cell
+
+// Report is one deduplicated race (by program-counter pair).
+type Report struct {
+	PCA, PCB uint64
+	Addr     uint64
+	Kind     string
+}
+
+// Archer is the tool plugin.
+type Archer struct {
+	c *dbi.Core
+
+	clocks   []*VC
+	shadow   map[uint64]*shadowPage
+	lastPage uint64
+	lastPtr  *shadowPage
+	taskAcq  map[uint64]VC
+	taskEnd  map[uint64]VC
+	deps     map[uint64][]uint64
+	childs   map[uint64][]uint64
+	forkVC   map[uint64]VC
+	lastsVC  map[uint64][]VC
+	barVC    map[[2]uint64][]VC
+	lockVC   map[uint64]VC
+	groupAt  map[uint64][]int
+	taskSeq  int
+	taskPar  map[uint64]uint64
+	seqOf    map[uint64]int
+
+	gslots map[uint64]*gslot
+
+	seen    map[[2]uint64]bool
+	Reports []Report
+}
+
+// New creates an Archer instance.
+func New() *Archer {
+	return &Archer{
+		shadow:  make(map[uint64]*shadowPage),
+		taskAcq: make(map[uint64]VC),
+		taskEnd: make(map[uint64]VC),
+		deps:    make(map[uint64][]uint64),
+		childs:  make(map[uint64][]uint64),
+		forkVC:  make(map[uint64]VC),
+		lastsVC: make(map[uint64][]VC),
+		barVC:   make(map[[2]uint64][]VC),
+		lockVC:  make(map[uint64]VC),
+		groupAt: make(map[uint64][]int),
+		taskPar: make(map[uint64]uint64),
+		seqOf:   make(map[uint64]int),
+		seen:    make(map[[2]uint64]bool),
+	}
+}
+
+// Name implements dbi.Tool.
+func (a *Archer) Name() string { return "archer" }
+
+// RaceCount returns the number of distinct reports (TSan dedups by stack
+// pair; we dedup by PC pair).
+func (a *Archer) RaceCount() int { return len(a.Reports) }
+
+// Attach implements dbi.Attacher: free clears the shadow for the block (the
+// TSan allocator interceptor behaviour that avoids recycling FPs).
+func (a *Archer) Attach(c *dbi.Core) {
+	a.c = c
+	orig, err := c.M.RedirectHost("free", nil)
+	if err == nil && orig != nil {
+		_, _ = c.M.RedirectHost("free", func(m *vm.Machine, t *vm.Thread) vm.HostResult {
+			addr := t.Regs[guest.R0]
+			if blk := c.FindBlock(addr); blk != nil && blk.Addr == addr {
+				for g := addr >> 3; g <= (addr+blk.Size-1)>>3; g++ {
+					if pg := a.shadow[g>>9]; pg != nil {
+						pg[g&511] = cell{}
+					}
+				}
+			}
+			return orig(m, t)
+		})
+	}
+	c.M.ExtraFootprint = func() uint64 {
+		return a.ShadowFootprint() + c.CacheFootprint()
+	}
+}
+
+// ShadowFootprint reports shadow memory (TSan-like direct-mapped pages).
+func (a *Archer) ShadowFootprint() uint64 {
+	return uint64(len(a.shadow)) * 512 * 32 // ~32B live bytes per cell
+}
+
+// vc returns the thread's clock, initializing epoch 1.
+func (a *Archer) vc(t *vm.Thread) *VC {
+	for len(a.clocks) <= t.ID {
+		a.clocks = append(a.clocks, nil)
+	}
+	c := a.clocks[t.ID]
+	if c == nil {
+		n := VC{}
+		n.ensure(t.ID)
+		n[t.ID] = 1
+		c = &n
+		a.clocks[t.ID] = c
+	}
+	return c
+}
+
+// cellAt returns the shadow cell for granule g, with a one-page cache for
+// the streaming accesses numeric kernels make.
+func (a *Archer) cellAt(g uint64) *cell {
+	pageIdx := g >> 9
+	if a.lastPtr == nil || pageIdx != a.lastPage {
+		pg := a.shadow[pageIdx]
+		if pg == nil {
+			pg = new(shadowPage)
+			a.shadow[pageIdx] = pg
+		}
+		a.lastPage, a.lastPtr = pageIdx, pg
+	}
+	return &a.lastPtr[g&511]
+}
+
+// release snapshots the thread clock and advances its own component.
+func (a *Archer) release(t *vm.Thread) VC {
+	c := a.vc(t)
+	snap := c.clone()
+	(*c)[t.ID]++
+	return snap
+}
+
+// ThreadStart implements dbi.Tool.
+func (a *Archer) ThreadStart(t *vm.Thread) { a.vc(t) }
+
+// ThreadExit implements dbi.Tool.
+func (a *Archer) ThreadExit(t *vm.Thread) {}
+
+// Fini implements dbi.Tool (analysis is online; nothing to do).
+func (a *Archer) Fini(c *dbi.Core) { a.sortReports() }
+
+func (a *Archer) sortReports() {
+	sort.Slice(a.Reports, func(i, j int) bool {
+		if a.Reports[i].PCA != a.Reports[j].PCA {
+			return a.Reports[i].PCA < a.Reports[j].PCA
+		}
+		return a.Reports[i].PCB < a.Reports[j].PCB
+	})
+}
+
+// AccessHooks implements dbi.CompileTimeTool: Archer's checks are compiled
+// into the program, so it runs on the direct engine — an order of magnitude
+// cheaper than heavyweight DBI (the 10x-vs-100x gap of Table II).
+func (a *Archer) AccessHooks(im *guest.Image) (vm.AccessHook, vm.AccessHook, []bool) {
+	filter := dbi.SymbolFilter(im, func(sym string) bool {
+		return !strings.HasPrefix(sym, "__kmp") && !strings.HasPrefix(sym, "omp_")
+	})
+	load := func(t *vm.Thread, addr uint64, w uint8, pc uint64) {
+		a.check(t, addr, uint64(w), pc, false)
+	}
+	store := func(t *vm.Thread, addr uint64, w uint8, pc uint64) {
+		a.check(t, addr, uint64(w), pc, true)
+	}
+	return load, store, filter
+}
+
+// Instrument implements dbi.Tool (IR-engine fallback; unused when the
+// compile-time hooks are installed, kept for the countgrind-style use of
+// Archer as a plain plugin).
+func (a *Archer) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock {
+	if sym := c.M.Image.SymbolFor(sb.GuestAddr); sym != nil {
+		if strings.HasPrefix(sym.Name, "__kmp") || strings.HasPrefix(sym.Name, "omp_") {
+			return sb
+		}
+	}
+	out := &vex.SuperBlock{
+		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
+		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
+	}
+	pc := sb.GuestAddr
+	for _, s := range sb.Stmts {
+		if s.Kind == vex.SIMark {
+			pc = s.Addr
+		}
+		switch s.Kind {
+		case vex.SWrTmpLoad:
+			out.Stmts = append(out.Stmts, vex.Stmt{
+				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "archer_read", Fn: a.onRead,
+				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd)), vex.ConstE(pc)},
+			})
+		case vex.SStore:
+			out.Stmts = append(out.Stmts, vex.Stmt{
+				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "archer_write", Fn: a.onWrite,
+				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd)), vex.ConstE(pc)},
+			})
+		}
+		out.Stmts = append(out.Stmts, s)
+	}
+	return out
+}
+
+// tracked reports whether an address is in scope (user data; the runtime
+// pool is invisible to compile-time instrumentation).
+func tracked(addr uint64) bool {
+	return addr >= guest.DataBase &&
+		!(addr >= guest.FastPoolBase && addr < guest.FastPoolLimit)
+}
+
+func (a *Archer) onRead(ctx any, args []uint64) uint64 {
+	a.check(ctx.(*vm.Thread), args[0], args[1], args[2], false)
+	return 0
+}
+
+func (a *Archer) onWrite(ctx any, args []uint64) uint64 {
+	a.check(ctx.(*vm.Thread), args[0], args[1], args[2], true)
+	return 0
+}
+
+// check is the TSan-style shadow update for one access.
+func (a *Archer) check(t *vm.Thread, addr, w, pc uint64, write bool) {
+	if !tracked(addr) || t.ID >= maxTrackedThreads {
+		return
+	}
+	myVC := *a.vc(t)
+	myClk := myVC[t.ID]
+	for g := addr >> 3; g <= (addr+w-1)>>3; g++ {
+		cl := a.cellAt(g)
+		// Race iff a prior access by another thread is not ordered
+		// before us. Same-thread accesses are always ordered — the
+		// thread-centric property.
+		if !write {
+			if cl.wClk != 0 && int(cl.wTid) != t.ID && !myVC.covers(int(cl.wTid), cl.wClk) {
+				a.report(cl.wPC, pc, g<<3, "w/r")
+			}
+			cl.reads[t.ID] = readSlot{clk: myClk, pc: pc}
+			continue
+		}
+		if cl.wClk != 0 && int(cl.wTid) != t.ID && !myVC.covers(int(cl.wTid), cl.wClk) {
+			a.report(cl.wPC, pc, g<<3, "w/w")
+		}
+		for rt := range cl.reads {
+			rs := &cl.reads[rt]
+			if rs.clk != 0 && rt != t.ID && !myVC.covers(rt, rs.clk) {
+				a.report(rs.pc, pc, g<<3, "r/w")
+			}
+		}
+		cl.wTid, cl.wClk, cl.wPC = int32(t.ID), myClk, pc
+		// A write supersedes prior reads.
+		cl.reads = [maxTrackedThreads]readSlot{}
+	}
+}
+
+func (a *Archer) report(pcA, pcB, addr uint64, kind string) {
+	if pcA > pcB {
+		pcA, pcB = pcB, pcA
+	}
+	key := [2]uint64{pcA, pcB}
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.Reports = append(a.Reports, Report{PCA: pcA, PCB: pcB, Addr: addr, Kind: kind})
+}
+
+// ClientRequest implements dbi.Tool: OpenMP sync becomes release/acquire.
+func (a *Archer) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uint64 {
+	switch code {
+	case ompt.CRParallelBegin:
+		a.forkVC[args[0]] = a.release(t)
+	case ompt.CRImplicitBegin:
+		a.vc(t).acquire(a.forkVC[args[0]])
+	case ompt.CRImplicitEnd:
+		a.lastsVC[args[0]] = append(a.lastsVC[args[0]], a.release(t))
+	case ompt.CRParallelEnd:
+		for _, v := range a.lastsVC[args[0]] {
+			a.vc(t).acquire(v)
+		}
+	case ompt.CRTaskCreate:
+		a.taskSeq++
+		a.taskAcq[args[0]] = a.release(t)
+		a.taskPar[args[0]] = args[1]
+		a.seqOf[args[0]] = a.taskSeq
+		a.childs[args[1]] = append(a.childs[args[1]], args[0])
+	case ompt.CRTaskDepAddr:
+		// Archer's TSan annotations hash dependence addresses *globally*
+		// (no sibling scoping), so dependences between non-sibling tasks
+		// wrongly synchronize them — its FN on DRB173.
+		a.globalDep(args[0], args[1], args[2])
+	case ompt.CRTaskBegin:
+		a.vc(t).acquire(a.taskAcq[args[0]])
+		for _, p := range a.deps[args[0]] {
+			a.vc(t).acquire(a.taskEnd[p])
+		}
+	case ompt.CRTaskEnd:
+		a.taskEnd[args[0]] = a.release(t)
+	case ompt.CRTaskWaitEnd, ompt.CRTaskWaitDepsEnd:
+		// Plain taskwait acquires every child. Archer's runtime
+		// annotation treats the OpenMP 5.0 dependent taskwait the same
+		// way (over-synchronization) — its FN on DRB165.
+		for _, c := range a.childs[args[0]] {
+			a.vc(t).acquire(a.taskEnd[c])
+		}
+	case ompt.CRTaskGroupBegin:
+		a.groupAt[args[0]] = append(a.groupAt[args[0]], a.taskSeq)
+	case ompt.CRTaskGroupEnd:
+		starts := a.groupAt[args[0]]
+		if len(starts) == 0 {
+			break
+		}
+		start := starts[len(starts)-1]
+		a.groupAt[args[0]] = starts[:len(starts)-1]
+		for id, seq := range a.seqOf {
+			if seq > start && a.descends(id, args[0]) {
+				a.vc(t).acquire(a.taskEnd[id])
+			}
+		}
+	case ompt.CRBarrierBegin:
+		k := [2]uint64{args[0], args[1]}
+		a.barVC[k] = append(a.barVC[k], a.release(t))
+	case ompt.CRBarrierEnd:
+		k := [2]uint64{args[0], args[1] - 1}
+		for _, v := range a.barVC[k] {
+			a.vc(t).acquire(v)
+		}
+	case ompt.CRCriticalAcquire:
+		a.vc(t).acquire(a.lockVC[args[0]])
+	case ompt.CRCriticalRelease:
+		a.lockVC[args[0]] = a.release(t)
+	case ompt.CRRelease:
+		a.lockVC[^args[0]] = a.release(t)
+	case ompt.CRAcquire:
+		a.vc(t).acquire(a.lockVC[^args[0]])
+	}
+	return 1
+}
+
+// globalDep records dependence predecessors through one global per-address
+// slot (last writers + readers since).
+func (a *Archer) globalDep(taskID, addr, kind uint64) {
+	if a.gslots == nil {
+		a.gslots = make(map[uint64]*gslot)
+	}
+	s := a.gslots[addr]
+	if s == nil {
+		s = &gslot{}
+		a.gslots[addr] = s
+	}
+	add := func(ids []uint64) {
+		for _, id := range ids {
+			if id != taskID {
+				a.deps[taskID] = append(a.deps[taskID], id)
+			}
+		}
+	}
+	if kind == ompt.DepIn {
+		add(s.writers)
+		s.readers = append(s.readers, taskID)
+		return
+	}
+	add(s.writers)
+	add(s.readers)
+	s.writers = []uint64{taskID}
+	s.readers = nil
+}
+
+type gslot struct {
+	writers []uint64
+	readers []uint64
+}
+
+func (a *Archer) descends(id, ancestor uint64) bool {
+	for cur := id; cur != 0; cur = a.taskPar[cur] {
+		if a.taskPar[cur] == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the reports TSan-style.
+func (a *Archer) String() string {
+	var b strings.Builder
+	for i, r := range a.Reports {
+		fmt.Fprintf(&b, "==%d== ThreadSanitizer: data race (%s) %s <-> %s at 0x%x\n",
+			i+1, r.Kind, a.c.M.Image.Locate(r.PCA), a.c.M.Image.Locate(r.PCB), r.Addr)
+	}
+	fmt.Fprintf(&b, "== %d race report(s)\n", len(a.Reports))
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package archer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/tools/archer"
+)
+
+const R0, R1, R2 = guest.R0, guest.R1, guest.R2
+
+// racyTasks: two tasks write the same global without a dependence.
+func racyTasks(withDep bool) *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("g", 8)
+
+	for i, name := range []string{"t1", "t2"} {
+		f := b.Func(name, "a.c")
+		f.Line(10 + i)
+		f.LoadSym(R1, "g")
+		f.Ldi(R2, 5)
+		f.St(8, R1, 0, R2)
+		f.Ret()
+	}
+
+	f := b.Func("micro", "a.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		var deps []omp.Dep
+		if withDep {
+			deps = []omp.Dep{omp.DepSym(ompt.DepOut, "g")}
+		}
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "t1", Deps: deps})
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "t2", Deps: deps})
+	})
+	f.Leave()
+
+	f = b.Func("main", "a.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 0)
+	f.Hlt(R0)
+	return b
+}
+
+func run(t *testing.T, b *gbuild.Builder, seed uint64, threads int) *archer.Archer {
+	t.Helper()
+	a := archer.New()
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Tool: a, Seed: seed, Threads: threads})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	return a
+}
+
+// TestDetectsCrossThreadRace: with 4 threads, at least one seed schedules
+// the racy tasks on different threads, where Archer must report.
+func TestDetectsCrossThreadRace(t *testing.T) {
+	found := false
+	for seed := uint64(1); seed <= 12 && !found; seed++ {
+		a := run(t, racyTasks(false), seed, 4)
+		found = a.RaceCount() > 0
+	}
+	if !found {
+		t.Fatal("no seed produced a cross-thread schedule with a report")
+	}
+}
+
+// TestThreadCentricBlindnessOnOneThread: serialized execution orders
+// everything by program order — the structural FN of Table II.
+func TestThreadCentricBlindnessOnOneThread(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		a := run(t, racyTasks(false), seed, 1)
+		if a.RaceCount() != 0 {
+			t.Fatalf("seed %d: archer reported %d on one thread (must be blind)", seed, a.RaceCount())
+		}
+	}
+}
+
+// TestDependenceSyncSuppresses: dep-ordered tasks never race under Archer.
+func TestDependenceSyncSuppresses(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		a := run(t, racyTasks(true), seed, 4)
+		if a.RaceCount() != 0 {
+			t.Fatalf("seed %d: reports on dep-ordered tasks:\n%s", seed, a.String())
+		}
+	}
+}
+
+// TestTaskwaitSync: parent read after taskwait is ordered.
+func TestTaskwaitSync(t *testing.T) {
+	build := func() *gbuild.Builder {
+		b := omp.NewProgram()
+		b.Global("g", 8)
+		f := b.Func("child", "tw.c")
+		f.LoadSym(R1, "g")
+		f.Ldi(R2, 7)
+		f.St(8, R1, 0, R2)
+		f.Ret()
+		f = b.Func("micro", "tw.c")
+		f.Enter(0)
+		fn := f
+		omp.SingleNowait(f, func() {
+			omp.EmitTask(fn, omp.TaskOpts{Fn: "child"})
+			omp.Taskwait(fn)
+			fn.LoadSym(R1, "g")
+			fn.Ld(8, R2, R1, 0)
+		})
+		f.Leave()
+		f = b.Func("main", "tw.c")
+		f.Enter(0)
+		f.Ldi(R1, 0)
+		omp.Parallel(f, "micro", R1, 4)
+		f.Ldi(R0, 0)
+		f.Hlt(R0)
+		return b
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		a := run(t, build(), seed, 4)
+		if a.RaceCount() != 0 {
+			t.Fatalf("seed %d: taskwait not synced:\n%s", seed, a.String())
+		}
+	}
+}
+
+// TestCriticalSync: lock-ordered counter increments do not race.
+func TestCriticalSync(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("counter", 8)
+	f := b.Func("micro", "c.c")
+	f.Enter(0)
+	fn := f
+	omp.Critical(f, 1, func() {
+		fn.LoadSym(guest.R9, "counter")
+		fn.Ld(8, guest.R10, guest.R9, 0)
+		fn.Addi(guest.R10, guest.R10, 1)
+		fn.St(8, guest.R9, 0, guest.R10)
+	})
+	f.Leave()
+	f = b.Func("main", "c.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 0)
+	f.Hlt(R0)
+
+	a := run(t, b, 3, 4)
+	if a.RaceCount() != 0 {
+		t.Fatalf("critical sections not synced:\n%s", a.String())
+	}
+}
+
+// TestFreeClearsShadow: heap recycling does not produce reports because the
+// allocator interceptor resets shadow state on free.
+func TestFreeClearsShadow(t *testing.T) {
+	b := omp.NewProgram()
+	b.Global("p", 8)
+
+	// task: p2 = malloc(8); *p2 = 1; free(p2)
+	f := b.Func("tsk", "fr.c")
+	f.Enter(16)
+	f.Ldi(R0, 8)
+	f.Hcall("malloc")
+	f.StLocal(8, 8, R0)
+	f.Ldi(R1, 1)
+	f.St(8, R0, 0, R1)
+	f.LdLocal(8, R0, 8)
+	f.Hcall("free")
+	f.Leave()
+
+	f = b.Func("micro", "fr.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "tsk"})
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "tsk"})
+	})
+	f.Leave()
+	f = b.Func("main", "fr.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 0)
+	f.Hlt(R0)
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		a := run(t, b, seed, 4)
+		if a.RaceCount() != 0 {
+			t.Fatalf("seed %d: recycling FP in archer:\n%s", seed, a.String())
+		}
+		b = rebuildFr()
+	}
+}
+
+func rebuildFr() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("p", 8)
+	f := b.Func("tsk", "fr.c")
+	f.Enter(16)
+	f.Ldi(R0, 8)
+	f.Hcall("malloc")
+	f.StLocal(8, 8, R0)
+	f.Ldi(R1, 1)
+	f.St(8, R0, 0, R1)
+	f.LdLocal(8, R0, 8)
+	f.Hcall("free")
+	f.Leave()
+	f = b.Func("micro", "fr.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "tsk"})
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "tsk"})
+	})
+	f.Leave()
+	f = b.Func("main", "fr.c")
+	f.Enter(0)
+	f.Ldi(R1, 0)
+	omp.Parallel(f, "micro", R1, 4)
+	f.Ldi(R0, 0)
+	f.Hlt(R0)
+	return b
+}
+
+// TestReportRendering: reports carry source locations (unlike ROMP).
+func TestReportRendering(t *testing.T) {
+	var a *archer.Archer
+	for seed := uint64(1); seed <= 12; seed++ {
+		a = run(t, racyTasks(false), seed, 4)
+		if a.RaceCount() > 0 {
+			break
+		}
+	}
+	if a.RaceCount() == 0 {
+		t.Skip("no racy schedule found")
+	}
+	if !strings.Contains(a.String(), "a.c:") {
+		t.Fatalf("no source location in archer report:\n%s", a.String())
+	}
+}

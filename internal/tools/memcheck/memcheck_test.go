@@ -1,0 +1,176 @@
+package memcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/tools/memcheck"
+)
+
+const (
+	r0 = guest.R0
+	r1 = guest.R1
+	r2 = guest.R2
+	r4 = guest.R4
+)
+
+func run(t *testing.T, b *gbuild.Builder) *memcheck.Memcheck {
+	t.Helper()
+	mc := memcheck.New()
+	res, _, err := harness.BuildAndRun(b, harness.Setup{Tool: mc, Seed: 1, Threads: 1})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	return mc
+}
+
+func TestCleanProgram(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "ok.c")
+	f.Enter(0)
+	f.Ldi(r0, 16)
+	f.Hcall("malloc")
+	f.Mov(r4, r0)
+	f.Ldi(r1, 7)
+	f.St(8, r4, 0, r1)
+	f.Ld(8, r1, r4, 8)
+	f.Mov(r0, r4)
+	f.Hcall("free")
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if len(mc.Findings) != 0 {
+		t.Fatalf("clean program reported:\n%s", mc.String())
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "uaf.c")
+	f.Line(3)
+	f.Enter(0)
+	f.Ldi(r0, 16)
+	f.Hcall("malloc")
+	f.Mov(r4, r0)
+	f.Hcall("free") // free(p)
+	f.Line(7)
+	f.Ld(8, r1, r4, 0) // read after free
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if mc.Count(memcheck.UseAfterFree) != 1 {
+		t.Fatalf("findings:\n%s", mc.String())
+	}
+	if !strings.Contains(mc.String(), "use-after-free") ||
+		!strings.Contains(mc.String(), "uaf.c:7") {
+		t.Fatalf("report lacks location:\n%s", mc.String())
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "df.c")
+	f.Enter(0)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.Mov(r4, r0)
+	f.Hcall("free")
+	f.Mov(r0, r4)
+	f.Hcall("free")
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if mc.Count(memcheck.DoubleFree) != 1 {
+		t.Fatalf("findings:\n%s", mc.String())
+	}
+}
+
+func TestWildFree(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "wf.c")
+	f.Enter(0)
+	f.LdConst64(r0, guest.HeapBase+0x100)
+	f.Hcall("free")
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if mc.Count(memcheck.WildFree) != 1 {
+		t.Fatalf("findings:\n%s", mc.String())
+	}
+}
+
+func TestRedzoneAccess(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "rz.c")
+	f.Enter(0)
+	f.Ldi(r0, 10) // rounds to 16: bytes 10..15 are slack
+	f.Hcall("malloc")
+	f.Ldi(r1, 1)
+	f.St(8, r0, 8, r1) // bytes 8..16: crosses the requested size
+	f.Hcall("free")
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if mc.Count(memcheck.RedzoneAccess) != 1 {
+		t.Fatalf("findings:\n%s", mc.String())
+	}
+}
+
+func TestLeakAtExit(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "lk.c")
+	f.Line(2)
+	f.Enter(0)
+	f.Ldi(r0, 32)
+	f.Hcall("malloc")
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.Hcall("free") // frees only the second
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if mc.Count(memcheck.Leak) != 1 {
+		t.Fatalf("findings:\n%s", mc.String())
+	}
+	if !strings.Contains(mc.String(), "lk.c:2") {
+		t.Fatalf("leak lacks allocation site:\n%s", mc.String())
+	}
+}
+
+func TestRecycledAddressIsCleanAgain(t *testing.T) {
+	// free(p); q = malloc(same size) -> same address; accessing q must
+	// NOT be a use-after-free.
+	b := gbuild.New()
+	f := b.Func("main", "rc.c")
+	f.Enter(0)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.Hcall("free")
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.Ldi(r1, 5)
+	f.St(8, r0, 0, r1)
+	f.Hcall("free")
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	mc := run(t, b)
+	if len(mc.Findings) != 0 {
+		t.Fatalf("recycled block misreported:\n%s", mc.String())
+	}
+}
+
+func TestErrorKindStrings(t *testing.T) {
+	kinds := map[memcheck.ErrorKind]string{
+		memcheck.UseAfterFree: "use-after-free", memcheck.DoubleFree: "double-free",
+		memcheck.WildFree: "wild-free", memcheck.RedzoneAccess: "redzone-access",
+		memcheck.Leak: "leak",
+	}
+	for k, s := range kinds {
+		if k.String() != s {
+			t.Errorf("%d -> %q", k, k.String())
+		}
+	}
+}

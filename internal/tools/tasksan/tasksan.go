@@ -1,0 +1,52 @@
+// Package tasksan simulates TaskSanitizer (Matar & Unat, Euro-Par'18): an
+// online, compile-time-instrumented, task-centric determinacy race detector.
+//
+// Like Taskgrind it reasons over segments rather than threads, so it shares
+// the segment-graph engine (internal/core) — but with the structural
+// differences the paper calls out, expressed as capability options:
+//
+//   - undeferred tasks are treated as ordinary deferred tasks
+//     (false positive on DRB122-taskundeferred);
+//   - taskgroup end is not understood as a synchronization
+//     (false positive on DRB107-taskgroup);
+//   - dependences are matched in one global namespace instead of per
+//     sibling set, so dependences between non-sibling tasks wrongly order
+//     them (false negatives on DRB173/175);
+//   - compile-time instrumentation never sees runtime-internal memory
+//     (no §IV-B fast-pool false positives, but also no coverage of
+//     non-instrumented code);
+//   - no TLS (DTV) suppression — thread-local storage reuse across tasks
+//     on the same thread is reported (false positive on TMB 1006).
+//
+// Constructs newer than its Clang 8 front end are reported as "ncs" by the
+// benchmark harness (metadata), matching Table I.
+package tasksan
+
+import "repro/internal/core"
+
+// New returns a TaskSanitizer simulator (a configured segment-graph tool).
+func New() *core.Taskgrind {
+	opt := core.Options{
+		// Compile-time instrumentation scope: user code only.
+		IgnoreList:       []string{"__kmp", "omp_"},
+		IgnorePoolRegion: true,
+		// Allocator interceptors neutralize heap recycling like TSan.
+		NoFree: true,
+		// Task stacks are tracked, TLS is not.
+		StackSuppression: true,
+		TLSSuppression:   false,
+		// Structural differences vs Taskgrind.
+		NoUndeferredOrdering:       true,
+		NoTaskgroupOrdering:        true,
+		GlobalDepNamespace:         true,
+		IgnoreDeferrableAnnotation: true,
+		MutexOrders:                true,
+		CompileTime:                true,
+		// Only the task's immediate frame is tracked: deep callee
+		// locals escape the suppression (TMB 1003/1005).
+		StackSuppressWindow: 256,
+		MaxReports:          1024,
+	}
+	tg := core.New(opt)
+	return tg
+}

@@ -1,0 +1,55 @@
+// Package toolreg is the tool factory shared by the benchmark harnesses and
+// command-line drivers: it instantiates a tool plugin by name together with
+// a race-report counter.
+package toolreg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbi"
+	"repro/internal/tools/archer"
+	"repro/internal/tools/memcheck"
+	"repro/internal/tools/romp"
+	"repro/internal/tools/tasksan"
+)
+
+// Names lists the available tools.
+func Names() []string {
+	return []string{"none", "taskgrind", "taskgrind-naive", "taskgrind-par", "archer", "tasksan", "romp", "memcheck"}
+}
+
+// Make instantiates a tool. "none" returns a nil tool (uninstrumented
+// reference run). "taskgrind-naive" disables every §IV suppression (the
+// ~400k-reports configuration); "taskgrind-par" runs the analysis pass with
+// a worker pool (the paper's future-work item).
+func Make(name string) (dbi.Tool, func() int, error) {
+	switch name {
+	case "none", "":
+		return nil, func() int { return 0 }, nil
+	case "taskgrind":
+		tg := core.New(core.DefaultOptions())
+		return tg, func() int { return tg.RaceCount }, nil
+	case "taskgrind-naive":
+		tg := core.New(core.NaiveOptions())
+		return tg, func() int { return tg.RaceCount }, nil
+	case "taskgrind-par":
+		opt := core.DefaultOptions()
+		opt.AnalysisWorkers = 4
+		tg := core.New(opt)
+		return tg, func() int { return tg.RaceCount }, nil
+	case "archer":
+		a := archer.New()
+		return a, a.RaceCount, nil
+	case "tasksan":
+		ts := tasksan.New()
+		return ts, func() int { return ts.RaceCount }, nil
+	case "romp":
+		r := romp.New()
+		return r, func() int { return r.RaceCount }, nil
+	case "memcheck":
+		mc := memcheck.New()
+		return mc, func() int { return len(mc.Findings) }, nil
+	}
+	return nil, nil, fmt.Errorf("toolreg: unknown tool %q (have %v)", name, Names())
+}

@@ -1,0 +1,16 @@
+package vex
+
+import "math"
+
+// u2f reinterprets a 64-bit pattern as float64.
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+
+// f2u reinterprets a float64 as its 64-bit pattern.
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+
+// F2U exposes the float64 -> bits conversion for other packages that build
+// guest constants.
+func F2U(f float64) uint64 { return f2u(f) }
+
+// U2F exposes the bits -> float64 conversion.
+func U2F(u uint64) float64 { return u2f(u) }

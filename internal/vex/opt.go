@@ -1,0 +1,148 @@
+package vex
+
+// Optimize performs the IR cleanups Valgrind's VEX applies to translated
+// superblocks before handing them to tools: constant folding, copy
+// propagation through temporaries, and dead-temporary elimination. The
+// result computes exactly the same machine state (Validate-able, and
+// property-tested against the unoptimized block in the dbi package).
+//
+// Only pure statements are touched: loads, stores, register writes, exits
+// and dirty calls keep their order and side effects.
+func Optimize(sb *SuperBlock) *SuperBlock {
+	out := &SuperBlock{
+		GuestAddr: sb.GuestAddr,
+		NTemps:    sb.NTemps,
+		NextJK:    sb.NextJK,
+		Aux:       sb.Aux,
+	}
+	// known maps temporaries to constant values; alias maps temporaries
+	// to other expressions that may replace them (constants or temps).
+	known := make(map[Temp]uint64)
+	alias := make(map[Temp]Expr)
+
+	subst := func(e Expr) Expr {
+		if e.Kind == KindRdTmp {
+			if v, ok := known[e.Tmp]; ok {
+				return ConstE(v)
+			}
+			if a, ok := alias[e.Tmp]; ok {
+				return a
+			}
+		}
+		return e
+	}
+
+	for _, s := range sb.Stmts {
+		switch s.Kind {
+		case SIMark:
+			out.Append(s)
+		case SWrTmpExpr:
+			e := subst(s.E1)
+			switch e.Kind {
+			case KindConst:
+				known[s.Tmp] = e.Const
+				// Keep the statement for now; DCE drops it if the
+				// temp has no remaining readers (e.g. a Dirty arg
+				// still wants it by name after substitution? no —
+				// all readers are substituted, so it dies unless
+				// something non-substitutable reads it).
+				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: e})
+			case KindRdTmp, KindGetReg:
+				// Copy propagation. GetReg aliasing is only safe
+				// until the register is rewritten; track and
+				// invalidate below on PutReg.
+				alias[s.Tmp] = e
+				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: e})
+			}
+		case SWrTmpBinop:
+			a, b := subst(s.E1), subst(s.E2)
+			if a.Kind == KindConst && b.Kind == KindConst {
+				v := EvalBinop(s.Op, a.Const, b.Const)
+				known[s.Tmp] = v
+				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: ConstE(v)})
+				continue
+			}
+			out.Append(Stmt{Kind: SWrTmpBinop, Tmp: s.Tmp, Op: s.Op, E1: a, E2: b})
+		case SWrTmpUnop:
+			a := subst(s.E1)
+			if a.Kind == KindConst {
+				v := EvalUnop(s.Op, a.Const)
+				known[s.Tmp] = v
+				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: ConstE(v)})
+				continue
+			}
+			out.Append(Stmt{Kind: SWrTmpUnop, Tmp: s.Tmp, Op: s.Op, E1: a})
+		case SWrTmpLoad:
+			out.Append(Stmt{Kind: SWrTmpLoad, Tmp: s.Tmp, Wd: s.Wd, E1: subst(s.E1)})
+		case SStore:
+			out.Append(Stmt{Kind: SStore, Wd: s.Wd, E1: subst(s.E1), E2: subst(s.E2)})
+		case SPutReg:
+			// Invalidate GetReg aliases of this register.
+			for t, a := range alias {
+				if a.Kind == KindGetReg && a.Reg == s.Reg {
+					delete(alias, t)
+				}
+			}
+			out.Append(Stmt{Kind: SPutReg, Reg: s.Reg, E1: subst(s.E1)})
+		case SExit:
+			out.Append(Stmt{Kind: SExit, E1: subst(s.E1), Target: s.Target, JK: s.JK})
+		case SDirty:
+			args := make([]Expr, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = subst(a)
+			}
+			ns := s
+			ns.Args = args
+			out.Append(ns)
+		default:
+			out.Append(s)
+		}
+	}
+	out.Next = subst(sb.Next)
+	return deadTempElim(out)
+}
+
+// deadTempElim removes pure WrTmp statements whose temporary is never read.
+// Substitution has already rewritten every reader, so a temp that fed only
+// folded expressions has no uses left.
+func deadTempElim(sb *SuperBlock) *SuperBlock {
+	used := make([]bool, sb.NTemps)
+	mark := func(e Expr) {
+		if e.Kind == KindRdTmp {
+			used[e.Tmp] = true
+		}
+	}
+	for _, s := range sb.Stmts {
+		switch s.Kind {
+		case SWrTmpExpr, SWrTmpUnop, SWrTmpLoad:
+			mark(s.E1)
+		case SWrTmpBinop, SStore:
+			mark(s.E1)
+			mark(s.E2)
+		case SPutReg, SExit:
+			mark(s.E1)
+		case SDirty:
+			for _, a := range s.Args {
+				mark(a)
+			}
+		}
+	}
+	mark(sb.Next)
+	out := &SuperBlock{
+		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
+		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
+	}
+	for _, s := range sb.Stmts {
+		switch s.Kind {
+		case SWrTmpExpr, SWrTmpBinop, SWrTmpUnop:
+			// Pure computations: drop when dead. Loads are kept (a
+			// tool may have instrumented them; and a dead load is
+			// still an access the guest performed).
+			if !used[s.Tmp] {
+				continue
+			}
+		}
+		out.Append(s)
+	}
+	return out
+}

@@ -1,0 +1,547 @@
+// Package vm implements the guest machine: register state, threads, a
+// deterministic cooperative scheduler, the host-call interface, and a fast
+// direct interpreter used for uninstrumented ("no tools") runs.
+//
+// The execution model mirrors Valgrind's: exactly one guest thread runs at a
+// time, and control can switch only at basic-block boundaries or when a
+// thread blocks in a host call. Scheduling decisions are drawn from a seeded
+// PRNG, so every run is replayable from (program, seed) — which is what makes
+// the race-detection experiments reproducible.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/gmem"
+	"repro/internal/guest"
+)
+
+// ThreadExitAddr is the magic return address installed in LR when a thread
+// starts; returning to it terminates the thread.
+const ThreadExitAddr uint64 = 0x0000_0f00
+
+// ThreadState enumerates scheduler states.
+type ThreadState uint8
+
+// Thread states.
+const (
+	ThreadRunnable ThreadState = iota
+	ThreadBlocked
+	ThreadExited
+)
+
+// Frame is one entry of a thread's shadow call stack, maintained by the
+// execution engines on call/return instructions. Tools use it to produce
+// stack traces (e.g. allocation sites in race reports).
+type Frame struct {
+	// Fn is the callee entry address.
+	Fn uint64
+	// CallSite is the address of the call instruction.
+	CallSite uint64
+	// SP is the stack pointer at function entry.
+	SP uint64
+}
+
+// Thread is one guest thread.
+type Thread struct {
+	ID    int
+	Regs  [guest.NumRegs]uint64
+	PC    uint64
+	State ThreadState
+
+	// StackLo/StackHi delimit the thread's stack region.
+	StackLo, StackHi uint64
+	// TLSBase is the thread's TLS block base (its TCB address).
+	TLSBase uint64
+	// TLSGen is the DTV generation counter; bumped when the thread's TLS
+	// layout changes (models the paper's DTV gen number).
+	TLSGen uint64
+
+	// CallStack is the shadow call stack.
+	CallStack []Frame
+
+	// BlockReason describes why the thread is blocked (diagnostics).
+	BlockReason string
+
+	// Tool is per-thread tool state (opaque to the VM).
+	Tool any
+	// RT is per-thread runtime state (opaque to the VM).
+	RT any
+
+	m *Machine
+}
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Wake marks a blocked thread runnable.
+func (t *Thread) Wake() {
+	if t.State == ThreadBlocked {
+		t.State = ThreadRunnable
+		t.BlockReason = ""
+	}
+}
+
+// Block marks the thread blocked with a diagnostic reason.
+func (t *Thread) Block(reason string) {
+	t.State = ThreadBlocked
+	t.BlockReason = reason
+}
+
+// PushFrame records a call on the shadow stack.
+func (t *Thread) PushFrame(fn, callSite uint64) {
+	t.CallStack = append(t.CallStack, Frame{Fn: fn, CallSite: callSite, SP: t.Regs[guest.SP]})
+}
+
+// PopFrame records a return.
+func (t *Thread) PopFrame() {
+	if n := len(t.CallStack); n > 0 {
+		t.CallStack = t.CallStack[:n-1]
+	}
+}
+
+// StackTrace snapshots the current call chain, innermost first, as guest
+// code addresses (call sites), starting with the given pc.
+func (t *Thread) StackTrace(pc uint64) []uint64 {
+	out := []uint64{pc}
+	for i := len(t.CallStack) - 1; i >= 0; i-- {
+		out = append(out, t.CallStack[i].CallSite)
+	}
+	return out
+}
+
+// CurrentFuncSym returns the symbol of the innermost shadow-stack function,
+// or the function containing pc when the stack is empty.
+func (t *Thread) CurrentFuncSym(pc uint64) *guest.Symbol {
+	return t.m.Image.SymbolFor(pc)
+}
+
+// RunResult reports what happened while running a block (or attempting to).
+type RunResult uint8
+
+// Run results.
+const (
+	// RunOK: block completed; thread still runnable.
+	RunOK RunResult = iota
+	// RunBlocked: thread blocked in a host call.
+	RunBlocked
+	// RunThreadExited: the thread terminated.
+	RunThreadExited
+	// RunProgramExited: the whole program terminated.
+	RunProgramExited
+	// RunYield: thread voluntarily yielded the processor.
+	RunYield
+)
+
+// HostAction tells the machine what to do after a host call returns.
+type HostAction uint8
+
+// Host call actions.
+const (
+	HostContinue HostAction = iota
+	HostBlock
+	HostYield
+	HostExitThread
+	HostExitProgram
+)
+
+// HostResult is returned by host library functions.
+type HostResult struct {
+	Ret    uint64
+	Action HostAction
+	// Reason documents a HostBlock action.
+	Reason string
+}
+
+// HostFn is a host library function: it reads arguments from t.Regs[R0..R5]
+// and returns a result placed in R0.
+type HostFn func(m *Machine, t *Thread) HostResult
+
+// Engine executes one guest basic block for a thread. The default engine is
+// the direct interpreter; the DBI framework installs a translating,
+// instrumenting engine instead.
+type Engine interface {
+	// RunBlock executes the basic block at t.PC and advances t.PC.
+	RunBlock(m *Machine, t *Thread) (RunResult, error)
+}
+
+// Hooks are optional callbacks the machine raises; the DBI core and tools
+// attach here.
+type Hooks struct {
+	// ClientRequest handles an OpCreq; return value goes to R0.
+	ClientRequest func(t *Thread, code int32, args [6]uint64) uint64
+	// ThreadStart fires after a thread is created, before it runs.
+	ThreadStart func(t *Thread)
+	// ThreadExit fires when a thread terminates.
+	ThreadExit func(t *Thread)
+	// Switch fires when the scheduler switches to a different thread.
+	Switch func(t *Thread)
+}
+
+// Machine is a guest machine instance: one loaded image, one address space,
+// and a set of guest threads driven by the scheduler.
+type Machine struct {
+	Image *guest.Image
+	Mem   *gmem.Memory
+	Eng   Engine
+	Hooks Hooks
+
+	// Stdout receives guest program output.
+	Stdout io.Writer
+
+	threads   []*Thread
+	hostFns   []HostFn // indexed by host-import id
+	hostNames []string
+	registry  map[string]HostFn
+	// decoded is the predecoded text segment ("native" execution does not
+	// re-decode instruction words on every visit).
+	decoded []guest.Instr
+
+	nextStackTop uint64
+	nextTLS      uint64
+	tlsBlockSize uint64
+
+	rng      uint64
+	slice    int
+	exited   bool
+	exitCode uint64
+
+	// Stats.
+	BlocksExecuted uint64
+	InstrsExecuted uint64
+	Switches       uint64
+
+	// ExtraFootprint lets tools add their shadow-structure size to the
+	// reported memory usage.
+	ExtraFootprint func() uint64
+}
+
+// Config parameterizes machine creation.
+type Config struct {
+	// Seed drives the scheduler PRNG. Seed 0 is valid (mapped internally).
+	Seed uint64
+	// Slice is the timeslice in basic blocks (default 64).
+	Slice int
+	// TLSBlockSize is the per-thread TLS reservation (default 4096).
+	TLSBlockSize uint64
+	// Stdout receives guest output (default: discard).
+	Stdout io.Writer
+}
+
+// New creates a machine for a frozen image, loads text and data, and creates
+// the main thread at the image entry.
+func New(im *guest.Image, reg *HostRegistry, cfg Config) (*Machine, error) {
+	if !im.Frozen() {
+		return nil, errors.New("vm: image not frozen")
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = 64
+	}
+	if cfg.TLSBlockSize == 0 {
+		cfg.TLSBlockSize = 4096
+	}
+	if need := im.TLSSize + 128; cfg.TLSBlockSize < need {
+		cfg.TLSBlockSize = (need + 4095) &^ 4095
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	m := &Machine{
+		Image:        im,
+		Mem:          gmem.New(),
+		Stdout:       out,
+		nextStackTop: guest.StackRegionTop,
+		nextTLS:      guest.TLSBase,
+		tlsBlockSize: cfg.TLSBlockSize,
+		rng:          cfg.Seed*2654435761 + 0x9e3779b97f4a7c15,
+		slice:        cfg.Slice,
+		registry:     make(map[string]HostFn),
+	}
+	if reg != nil {
+		for name, fn := range reg.fns {
+			m.registry[name] = fn
+		}
+	}
+	// Resolve host imports.
+	m.hostFns = make([]HostFn, len(im.HostImports))
+	m.hostNames = append([]string(nil), im.HostImports...)
+	for i, name := range im.HostImports {
+		fn, ok := m.registry[name]
+		if !ok {
+			return nil, fmt.Errorf("vm: unresolved host import %q", name)
+		}
+		m.hostFns[i] = fn
+	}
+	// Load segments (and predecode the text for the direct engine).
+	m.decoded = make([]guest.Instr, len(im.Text))
+	for i, w := range im.Text {
+		m.Mem.Store(guest.TextBase+uint64(i)*guest.InstrBytes, 8, w)
+		m.decoded[i] = guest.Decode(w)
+	}
+	m.Mem.WriteBytes(guest.DataBase, im.Data)
+	m.Eng = &DirectEngine{}
+	// Main thread.
+	m.NewThread(im.Entry, 0)
+	return m, nil
+}
+
+// HostRegistry collects named host library functions before machine creation.
+type HostRegistry struct {
+	fns map[string]HostFn
+}
+
+// NewHostRegistry creates an empty registry.
+func NewHostRegistry() *HostRegistry {
+	return &HostRegistry{fns: make(map[string]HostFn)}
+}
+
+// Register adds or replaces a host function.
+func (r *HostRegistry) Register(name string, fn HostFn) {
+	r.fns[name] = fn
+}
+
+// Lookup returns the registered function, or nil.
+func (r *HostRegistry) Lookup(name string) HostFn { return r.fns[name] }
+
+// Names returns all registered names.
+func (r *HostRegistry) Names() []string {
+	out := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RedirectHost replaces the binding of an imported host function at run time
+// (Valgrind-style function replacement). It returns the previous binding so a
+// tool can wrap it, and an error if the image does not import the name.
+func (m *Machine) RedirectHost(name string, fn HostFn) (HostFn, error) {
+	for i, n := range m.hostNames {
+		if n == name {
+			old := m.hostFns[i]
+			m.hostFns[i] = fn
+			return old, nil
+		}
+	}
+	return nil, fmt.Errorf("vm: image does not import host function %q", name)
+}
+
+// FetchDecoded returns the predecoded instruction at a text address, or an
+// error for addresses outside the text segment.
+func (m *Machine) FetchDecoded(addr uint64) (guest.Instr, error) {
+	idx := (addr - guest.TextBase) / guest.InstrBytes
+	if addr < guest.TextBase || idx >= uint64(len(m.decoded)) || (addr-guest.TextBase)%guest.InstrBytes != 0 {
+		return guest.Instr{}, fmt.Errorf("vm: bad fetch address 0x%x", addr)
+	}
+	return m.decoded[idx], nil
+}
+
+// HostName returns the name of host import id (diagnostics).
+func (m *Machine) HostName(id int32) string {
+	if id >= 0 && int(id) < len(m.hostNames) {
+		return m.hostNames[id]
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// NewThread creates a guest thread entering fn(arg). It allocates a stack
+// and a TLS block and returns the thread.
+func (m *Machine) NewThread(entry, arg uint64) *Thread {
+	t := &Thread{
+		ID: len(m.threads),
+		m:  m,
+	}
+	t.StackHi = m.nextStackTop
+	t.StackLo = t.StackHi - guest.StackSize
+	m.nextStackTop = t.StackLo - gmem.PageSize // guard gap
+	t.TLSBase = m.nextTLS
+	m.nextTLS += m.tlsBlockSize
+	t.TLSGen = 1
+
+	t.PC = entry
+	t.Regs[guest.R0] = arg
+	t.Regs[guest.TP] = t.TLSBase
+	t.Regs[guest.SP] = t.StackHi &^ 15
+	t.Regs[guest.FP] = t.Regs[guest.SP]
+	t.Regs[guest.LR] = ThreadExitAddr
+	m.threads = append(m.threads, t)
+	if m.Hooks.ThreadStart != nil {
+		m.Hooks.ThreadStart(t)
+	}
+	return t
+}
+
+// Threads returns all threads (exited included).
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Thread returns thread #id.
+func (m *Machine) Thread(id int) *Thread { return m.threads[id] }
+
+// ExitCode returns the program exit status once Run has finished.
+func (m *Machine) ExitCode() uint64 { return m.exitCode }
+
+// Exited reports whether the program has terminated.
+func (m *Machine) Exited() bool { return m.exited }
+
+// rand returns the next PRNG value (xorshift64*).
+func (m *Machine) rand() uint64 {
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 2685821657736338717
+}
+
+// ErrDeadlock is returned by Run when no thread can make progress.
+var ErrDeadlock = errors.New("vm: deadlock: no runnable threads")
+
+// MaxBlocks bounds a Run; 0 means unlimited.
+type RunOpts struct {
+	MaxBlocks uint64
+}
+
+// Run drives the scheduler until the program exits, deadlocks, or the block
+// budget is exhausted.
+func (m *Machine) Run() error { return m.RunOpts(RunOpts{}) }
+
+// RunOpts runs with options.
+func (m *Machine) RunOpts(opts RunOpts) error {
+	var cur *Thread
+	for !m.exited {
+		if opts.MaxBlocks > 0 && m.BlocksExecuted >= opts.MaxBlocks {
+			return fmt.Errorf("vm: block budget (%d) exhausted", opts.MaxBlocks)
+		}
+		t := m.pick()
+		if t == nil {
+			if m.allExited() {
+				return nil
+			}
+			return fmt.Errorf("%w%s", ErrDeadlock, m.blockedSummary())
+		}
+		if t != cur {
+			m.Switches++
+			cur = t
+			if m.Hooks.Switch != nil {
+				m.Hooks.Switch(t)
+			}
+		}
+		for i := 0; i < m.slice && t.State == ThreadRunnable && !m.exited; i++ {
+			res, err := m.Eng.RunBlock(m, t)
+			if err != nil {
+				return fmt.Errorf("vm: thread %d at 0x%x: %w", t.ID, t.PC, err)
+			}
+			m.BlocksExecuted++
+			switch res {
+			case RunOK:
+			case RunBlocked, RunThreadExited, RunProgramExited:
+				i = m.slice
+			case RunYield:
+				i = m.slice
+			}
+		}
+	}
+	return nil
+}
+
+// pick selects the next runnable thread pseudo-randomly.
+func (m *Machine) pick() *Thread {
+	var runnable []*Thread
+	for _, t := range m.threads {
+		if t.State == ThreadRunnable {
+			runnable = append(runnable, t)
+		}
+	}
+	if len(runnable) == 0 {
+		return nil
+	}
+	return runnable[m.rand()%uint64(len(runnable))]
+}
+
+func (m *Machine) allExited() bool {
+	for _, t := range m.threads {
+		if t.State != ThreadExited {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) blockedSummary() string {
+	s := ""
+	for _, t := range m.threads {
+		if t.State == ThreadBlocked {
+			s += fmt.Sprintf("; thread %d blocked: %s (pc=%s)", t.ID, t.BlockReason, m.Image.Locate(t.PC))
+		}
+	}
+	return s
+}
+
+// DoHostCall dispatches a resolved host call and applies its action. The
+// thread's PC must already point past the hcall instruction.
+func (m *Machine) DoHostCall(t *Thread, id int32) RunResult {
+	if id < 0 || int(id) >= len(m.hostFns) {
+		panic(fmt.Sprintf("vm: bad host call id %d", id))
+	}
+	res := m.hostFns[id](m, t)
+	t.Regs[guest.R0] = res.Ret
+	switch res.Action {
+	case HostContinue:
+		return RunOK
+	case HostYield:
+		return RunYield
+	case HostBlock:
+		t.Block(res.Reason)
+		return RunBlocked
+	case HostExitThread:
+		return m.exitThread(t)
+	case HostExitProgram:
+		m.exited = true
+		m.exitCode = res.Ret
+		return RunProgramExited
+	}
+	return RunOK
+}
+
+// DoClientRequest dispatches an OpCreq.
+func (m *Machine) DoClientRequest(t *Thread, code int32) {
+	var args [6]uint64
+	copy(args[:], t.Regs[guest.R0:guest.R5+1])
+	if m.Hooks.ClientRequest != nil {
+		t.Regs[guest.R0] = m.Hooks.ClientRequest(t, code, args)
+	} else {
+		t.Regs[guest.R0] = 0
+	}
+}
+
+// exitThread terminates t; terminating the main thread (id 0) ends the
+// program with status R0.
+func (m *Machine) exitThread(t *Thread) RunResult {
+	t.State = ThreadExited
+	if m.Hooks.ThreadExit != nil {
+		m.Hooks.ThreadExit(t)
+	}
+	if t.ID == 0 {
+		m.exited = true
+		m.exitCode = t.Regs[guest.R0]
+		return RunProgramExited
+	}
+	return RunThreadExited
+}
+
+// ExitThread is the exported form used by engines when a thread returns to
+// ThreadExitAddr or executes OpHlt.
+func (m *Machine) ExitThread(t *Thread) RunResult { return m.exitThread(t) }
+
+// Footprint returns the resident guest memory plus any tool-reported shadow
+// footprint — the "memory usage" metric of the evaluation.
+func (m *Machine) Footprint() uint64 {
+	f := m.Mem.Footprint()
+	if m.ExtraFootprint != nil {
+		f += m.ExtraFootprint()
+	}
+	return f
+}
