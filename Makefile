@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-obs clean
+
+# The full gate: vet, build, tests under the race detector, and the
+# observability benchmark smoke run (writes BENCH_obs.json).
+check: vet build race bench-obs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One short iteration of the observability benchmark; the metrics snapshot
+# of the full-stack variant lands in BENCH_obs.json.
+bench-obs:
+	OBS_BENCH_OUT=BENCH_obs.json $(GO) test -run '^$$' -bench 'BenchmarkObservability' -benchtime 1x .
+
+clean:
+	rm -f BENCH_obs.json

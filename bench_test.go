@@ -6,6 +6,7 @@ package repro
 // `go test -bench=. -benchmem` regenerates the evaluation in one run.
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/itree"
 	"repro/internal/lulesh"
+	"repro/internal/obs"
 	"repro/internal/tools/toolreg"
 )
 
@@ -286,6 +288,68 @@ func BenchmarkSuppressionAblation(b *testing.B) {
 			b.ReportMetric(float64(races), "spurious-races")
 		})
 	}
+}
+
+// --- Observability overhead ----------------------------------------------
+
+// BenchmarkObservability measures the cost of the obs layer on a Taskgrind
+// LULESH run: hooks absent (the nil fast path the acceptance criteria bound
+// to noise), metrics only, and the full stack (metrics + ring tracer +
+// sampling profiler). The full variant's snapshot is written to
+// $OBS_BENCH_OUT when set (the `make bench-obs` smoke target).
+func BenchmarkObservability(b *testing.B) {
+	p := lulesh.Params{S: 8, TEL: 4, TNL: 4, Iters: 2}
+	run := func(b *testing.B, hooks *obs.Hooks) *harness.Instance {
+		bb, err := lulesh.Build(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tg := core.New(core.DefaultOptions())
+		res, inst, err := harness.BuildAndRun(bb, harness.Setup{
+			Tool: tg, Seed: 1, Threads: 4, Obs: hooks,
+		})
+		if err != nil || res.Err != nil {
+			b.Fatal(err, res.Err)
+		}
+		return inst
+	}
+	b.Run("hooks-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg := obs.NewRegistry()
+			inst := run(b, &obs.Hooks{Metrics: reg})
+			inst.CaptureMetrics(reg)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		var snap obs.Snapshot
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			reg := obs.NewRegistry()
+			tr := obs.NewTracer(obs.NewRingSink(1 << 16))
+			prof := obs.NewProfiler(64)
+			inst := run(b, &obs.Hooks{Metrics: reg, Tracer: tr, Prof: prof})
+			inst.CaptureMetrics(reg)
+			snap = reg.Snapshot()
+			events = tr.Events()
+		}
+		b.ReportMetric(float64(events), "trace-events")
+		b.ReportMetric(float64(snap.Counter("dbi_translations_total")), "translations")
+		if out := os.Getenv("OBS_BENCH_OUT"); out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
 }
 
 // --- Engine overhead ------------------------------------------------------

@@ -24,6 +24,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/harness"
 	"repro/internal/lulesh"
+	"repro/internal/obs"
 	"repro/internal/omp"
 	"repro/internal/tools/archer"
 	"repro/internal/tools/memcheck"
@@ -43,6 +44,12 @@ func main() {
 		verbose = flag.Bool("v", false, "print run statistics")
 		dotFile = flag.String("dot", "", "write the segment graph (Graphviz DOT) to this file (taskgrind tools only)")
 		gantt   = flag.Bool("trace", false, "print a task-schedule Gantt chart after the run")
+		// Observability outputs.
+		metricsFile  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event trace to this file (load in chrome://tracing or ui.perfetto.dev)")
+		traceBlocks  = flag.Bool("trace-blocks", false, "include per-block dispatch events in -trace-out (very large)")
+		profileFile  = flag.String("profile", "", "write a guest-PC profile (per-symbol + flat) to this file")
+		profileEvery = flag.Uint64("profile-interval", 1, "sample every Nth block for -profile")
 		// LULESH knobs.
 		s    = flag.Int("s", 8, "lulesh: mesh size")
 		tel  = flag.Int("tel", 4, "lulesh: tasks per element loop")
@@ -88,9 +95,39 @@ func main() {
 			tl = rec
 		}
 	}
+	// Assemble the observability hooks. Nil hooks keep every instrumented
+	// hot path on its one-pointer-compare fast path.
+	var (
+		hooks  *obs.Hooks
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		prof   *obs.Profiler
+		traceF *os.File
+	)
+	if *verbose || *metricsFile != "" || *traceOut != "" || *profileFile != "" {
+		hooks = &obs.Hooks{}
+		if *verbose || *metricsFile != "" {
+			reg = obs.NewRegistry()
+			hooks.Metrics = reg
+		}
+		if *traceOut != "" {
+			f, cerr := os.Create(*traceOut)
+			if cerr != nil {
+				fatal(cerr)
+			}
+			traceF = f
+			tracer = obs.NewTracer(obs.NewChromeSink(f))
+			tracer.BlockEvents = *traceBlocks
+			hooks.Tracer = tracer
+		}
+		if *profileFile != "" {
+			prof = obs.NewProfiler(*profileEvery)
+			hooks.Prof = prof
+		}
+	}
 	start := time.Now()
 	res, inst, err := harness.BuildAndRun(b, harness.Setup{
-		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout,
+		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout, Obs: hooks,
 	})
 	if err != nil {
 		fatal(err)
@@ -98,11 +135,46 @@ func main() {
 	if res.Err != nil {
 		fatal(res.Err)
 	}
-	if *verbose {
-		fmt.Printf("== exit=%d wall=%v instrs=%d blocks=%d switches=%d mem=%.2fMB\n",
-			res.ExitCode, time.Since(start).Round(time.Microsecond),
-			res.GuestInstrs, inst.M.BlocksExecuted, inst.M.Switches,
-			float64(res.Footprint)/1e6)
+	if tracer != nil {
+		if cerr := tracer.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		traceF.Close()
+	}
+	if reg != nil {
+		// One snapshot feeds both the -v text dump and the -metrics JSON
+		// file, so the two views cannot disagree. Wall time stays out of
+		// the registry: the snapshot is deterministic for a given seed.
+		inst.CaptureMetrics(reg)
+		reg.Gauge("run_exit_code").Set(float64(res.ExitCode))
+		snap := reg.Snapshot()
+		if *verbose {
+			fmt.Printf("== exit=%d wall=%v ==\n",
+				res.ExitCode, time.Since(start).Round(time.Microsecond))
+			if werr := snap.WriteText(os.Stdout); werr != nil {
+				fatal(werr)
+			}
+		}
+		if *metricsFile != "" {
+			mf, cerr := os.Create(*metricsFile)
+			if cerr != nil {
+				fatal(cerr)
+			}
+			if werr := snap.WriteJSON(mf); werr != nil {
+				fatal(werr)
+			}
+			mf.Close()
+		}
+	}
+	if prof != nil {
+		pf, cerr := os.Create(*profileFile)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		if werr := prof.Report(pf, inst.M.Image, 25); werr != nil {
+			fatal(werr)
+		}
+		pf.Close()
 	}
 	if rec != nil {
 		fmt.Println("== task schedule (block time) ==")

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dbi"
 	"repro/internal/guest"
 	"repro/internal/itree"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/seggraph"
 	"repro/internal/vex"
@@ -203,6 +204,10 @@ type Stats struct {
 	SuppressedTLS    uint64
 	SuppressedStack  uint64
 	ReportsTotal     int
+	// InstrumentedLoads/Stores count the access hooks inserted at
+	// instrumentation time (per cached block, not per execution).
+	InstrumentedLoads  uint64
+	InstrumentedStores uint64
 }
 
 // Taskgrind is the tool plugin.
@@ -317,6 +322,23 @@ func (tg *Taskgrind) ShadowFootprint() uint64 {
 	return f
 }
 
+// PublishMetrics implements obs.MetricSource: the tool's analysis counters
+// under a "tool_" prefix, so the registry snapshot carries everything the
+// -v stats print shows.
+func (tg *Taskgrind) PublishMetrics(reg *obs.Registry) {
+	s := &tg.Stats
+	reg.Counter("tool_accesses_recorded_total").Set(s.AccessesRecorded)
+	reg.Counter("tool_segments_total").Set(uint64(s.SegmentsCreated))
+	reg.Counter("tool_pairs_checked_total").Set(s.PairsChecked)
+	reg.Counter("tool_conflict_pairs_total").Set(uint64(s.ConflictPairs))
+	reg.Counter("tool_suppressed_tls_total").Set(s.SuppressedTLS)
+	reg.Counter("tool_suppressed_stack_total").Set(s.SuppressedStack)
+	reg.Counter("tool_reports_total").Set(uint64(s.ReportsTotal))
+	reg.Counter("tool_instrumented_loads_total").Set(s.InstrumentedLoads)
+	reg.Counter("tool_instrumented_stores_total").Set(s.InstrumentedStores)
+	reg.Gauge("tool_shadow_footprint_bytes").Set(float64(tg.ShadowFootprint()))
+}
+
 // Graph exposes the segment graph (tests, tooling).
 func (tg *Taskgrind) Graph() *seggraph.Graph { return tg.graph }
 
@@ -358,11 +380,13 @@ func (tg *Taskgrind) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock
 	for _, s := range sb.Stmts {
 		switch s.Kind {
 		case vex.SWrTmpLoad:
+			tg.Stats.InstrumentedLoads++
 			out.Stmts = append(out.Stmts, vex.Stmt{
 				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "tg_load", Fn: tg.dirtyLoad,
 				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd))},
 			})
 		case vex.SStore:
+			tg.Stats.InstrumentedStores++
 			out.Stmts = append(out.Stmts, vex.Stmt{
 				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "tg_store", Fn: tg.dirtyStore,
 				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd))},

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/vex"
 	"repro/internal/vm"
 )
@@ -72,10 +73,18 @@ type Core struct {
 	tool Tool
 
 	cache map[uint64]*vex.SuperBlock
-	// Translations counts distinct blocks translated.
+	// Translations counts distinct blocks translated (== cache misses).
 	Translations uint64
+	// CacheHits counts translation-cache hits.
+	CacheHits uint64
 	// cacheStmts counts IR statements held in the translation cache.
 	cacheStmts uint64
+
+	// Obs carries the optional observability hooks; nil when disabled.
+	Obs *obs.Hooks
+	// ctrCreqs and histBlockStmts are pre-resolved metrics (nil-safe).
+	ctrCreqs       *obs.Counter
+	histBlockStmts *obs.Histogram
 
 	// allocation registry, sorted by Addr for lookup.
 	allocs   []*AllocBlock
@@ -124,6 +133,7 @@ func New(m *vm.Machine, tool Tool) *Core {
 			m.Eng = &irEngine{c: c}
 		}
 		m.Hooks.ClientRequest = func(t *vm.Thread, code int32, args [6]uint64) uint64 {
+			c.observeCreq(t, code)
 			return tool.ClientRequest(t, code, args)
 		}
 		m.Hooks.ThreadStart = tool.ThreadStart
@@ -140,6 +150,24 @@ func New(m *vm.Machine, tool Tool) *Core {
 
 // Tool returns the loaded tool (nil when uninstrumented).
 func (c *Core) Tool() Tool { return c.tool }
+
+// SetObs attaches observability hooks to the core (and its machine) and
+// pre-resolves the hot-path metrics, so translation and client-request
+// sites increment through nil-safe pointers instead of registry lookups.
+func (c *Core) SetObs(h *obs.Hooks) {
+	c.Obs = h
+	c.M.Obs = h
+	if h != nil && h.Metrics != nil {
+		c.ctrCreqs = h.Metrics.Counter("core_client_requests_total")
+		c.histBlockStmts = h.Metrics.Histogram("dbi_block_stmts")
+	} else {
+		c.ctrCreqs = nil
+		c.histBlockStmts = nil
+	}
+}
+
+// CacheStmts returns the IR statement count held in the translation cache.
+func (c *Core) CacheStmts() uint64 { return c.cacheStmts }
 
 // Run executes the program to completion and then runs the tool's Fini.
 func (c *Core) Run() error {
@@ -159,7 +187,17 @@ func (c *Core) ClientRequestFromHost(t *vm.Thread, code int32, args [6]uint64) u
 	if c.tool == nil {
 		return 0
 	}
+	c.observeCreq(t, code)
 	return c.tool.ClientRequest(t, code, args)
+}
+
+// observeCreq counts and traces one client request delivery.
+func (c *Core) observeCreq(t *vm.Thread, code int32) {
+	c.ctrCreqs.Inc()
+	if h := c.Obs; h != nil && h.Tracer != nil {
+		h.Tracer.Instant(c.M.BlocksExecuted, t.ID, "core", "creq",
+			map[string]any{"code": code})
+	}
 }
 
 // --- allocation registry ---
@@ -213,10 +251,17 @@ func (c *Core) Allocations() []*AllocBlock { return c.allocs }
 func (c *Core) AllocCount() int { return len(c.allocs) }
 
 // translate produces the instrumented IR for the block at addr, consulting
-// the translation cache first.
-func (c *Core) translate(addr uint64) (*vex.SuperBlock, error) {
+// the translation cache first. tid attributes translation trace events to
+// the thread whose dispatch triggered them.
+func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 	if sb, ok := c.cache[addr]; ok {
+		c.CacheHits++
 		return sb, nil
+	}
+	traced := c.Obs != nil && c.Obs.Tracer != nil
+	if traced {
+		c.Obs.Tracer.Begin(c.M.BlocksExecuted, tid, "dbi", "translate",
+			map[string]any{"addr": addr})
 	}
 	sb, err := Translate(c.M.Image, addr)
 	if err != nil {
@@ -238,6 +283,11 @@ func (c *Core) translate(addr uint64) (*vex.SuperBlock, error) {
 	c.cache[addr] = sb
 	c.Translations++
 	c.cacheStmts += uint64(len(sb.Stmts))
+	c.histBlockStmts.Observe(float64(len(sb.Stmts)))
+	if traced {
+		c.Obs.Tracer.End(c.M.BlocksExecuted, tid, "dbi", "translate",
+			map[string]any{"stmts": len(sb.Stmts)})
+	}
 	return sb, nil
 }
 

@@ -21,7 +21,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (vm.RunResult, error) {
 	if t.PC == vm.ThreadExitAddr {
 		return m.ExitThread(t), nil
 	}
-	sb, err := e.c.translate(t.PC)
+	sb, err := e.c.translate(t.PC, t.ID)
 	if err != nil {
 		return vm.RunOK, err
 	}
@@ -49,6 +49,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (vm.RunResult, error) {
 		case vex.SIMark:
 			lastIMark = s.Addr
 			m.InstrsExecuted++
+			t.InstrsExecuted++
 		case vex.SWrTmpExpr:
 			tmps[s.Tmp] = eval(s.E1)
 		case vex.SWrTmpBinop:

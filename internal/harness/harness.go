@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/dbi/hostlib"
 	"repro/internal/gbuild"
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/omp"
 	"repro/internal/ompt"
 	"repro/internal/vm"
@@ -36,6 +38,9 @@ type Setup struct {
 	Slice int
 	// ExtraHost registers additional host functions (runtimes under test).
 	ExtraHost func(reg *vm.HostRegistry, inst *Instance)
+	// Obs attaches the observability layer (metrics/tracing/profiling).
+	// Nil keeps every hook site on its fast no-op path.
+	Obs *obs.Hooks
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
@@ -83,7 +88,60 @@ func New(s Setup) (*Instance, error) {
 		// requests delivered to the plugin (paper Fig. 2).
 		inst.OMP.Events = &ompt.Bridge{Core: inst.Core}
 	}
+	if s.Obs != nil {
+		inst.Core.SetObs(s.Obs)
+		inst.OMP.SetObs(s.Obs)
+	}
 	return inst, nil
+}
+
+// CaptureMetrics copies every subsystem's own counters into the registry —
+// the snapshot step that complements the live counters hooks increment
+// during the run. Hot-path statistics (block/instruction counts, cache
+// hits) stay plain struct fields and are only materialized here, so
+// enabling metrics costs the hot loops nothing extra. Call after Run.
+func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := inst.M
+	reg.Counter("vm_blocks_executed_total").Set(m.BlocksExecuted)
+	reg.Counter("vm_instrs_executed_total").Set(m.InstrsExecuted)
+	reg.Counter("sched_switches_total").Set(m.Switches)
+	reg.Counter("sched_slices_total").Set(m.Slices)
+	reg.Counter("sched_preemptions_total").Set(m.Preemptions)
+	reg.Gauge("mem_footprint_bytes").Set(float64(m.Footprint()))
+	for _, t := range m.Threads() {
+		id := fmt.Sprintf("%d", t.ID)
+		reg.Counter("vm_thread_blocks_total", "thread", id).Set(t.BlocksExecuted)
+		reg.Counter("vm_thread_instrs_total", "thread", id).Set(t.InstrsExecuted)
+	}
+
+	c := inst.Core
+	reg.Counter("dbi_translations_total").Set(c.Translations)
+	reg.Counter("dbi_cache_hits_total").Set(c.CacheHits)
+	reg.Counter("dbi_cache_misses_total").Set(c.Translations)
+	reg.Counter("dbi_cache_stmts").Set(c.CacheStmts())
+	reg.Gauge("dbi_cache_footprint_bytes").Set(float64(c.CacheFootprint()))
+
+	r := inst.OMP
+	reg.Counter("omp_tasks_created_total").Set(r.TasksCreated)
+	reg.Counter("omp_tasks_undeferred_total").Set(r.TasksUndeferred)
+	reg.Counter("omp_regions_total").Set(r.RegionsStarted)
+	reg.Counter("omp_steals_attempted_total").Set(r.StealsAttempted)
+	reg.Counter("omp_steals_successful_total").Set(r.StealsSuccessful)
+	reg.Counter("pool_allocs_total").Set(r.Pool.TotalAlloc)
+	reg.Counter("pool_frees_total").Set(r.Pool.TotalFree)
+
+	heap := inst.Lib.Heap
+	reg.Counter("heap_allocs_total").Set(heap.TotalAlloc)
+	reg.Counter("heap_frees_total").Set(heap.TotalFree)
+	reg.Gauge("heap_live_bytes").Set(float64(heap.LiveBytes()))
+	reg.Gauge("heap_peak_bytes").Set(float64(heap.PeakBytes()))
+
+	if src, ok := inst.Core.Tool().(obs.MetricSource); ok {
+		src.PublishMetrics(reg)
+	}
 }
 
 // Result captures one run's metrics.

@@ -1,0 +1,23 @@
+package obs
+
+// Hooks bundles the observability attachments a subsystem may carry. The
+// pointer itself is the master switch: a nil *Hooks on vm.Machine, dbi.Core
+// or omp.Runtime means observability is off and hook sites reduce to one
+// nil comparison. Individual members may also be nil (e.g. tracing without
+// profiling).
+type Hooks struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Prof    *Profiler
+}
+
+// Tracing reports whether h carries an active tracer.
+func (h *Hooks) Tracing() bool { return h != nil && h.Tracer.Enabled() }
+
+// MetricSource is implemented by tools (and other components) that publish
+// their internal statistics into a registry at capture time — the mechanism
+// by which per-tool stats (instrumented access counts, analysis work) join
+// the unified snapshot without the registry layer knowing tool types.
+type MetricSource interface {
+	PublishMetrics(reg *Registry)
+}

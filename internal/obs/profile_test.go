@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// testImage builds an unfrozen image with two functions and line info;
+// SymbolFor/LineFor only need the tables sorted, which literals below are.
+func testImage() *guest.Image {
+	return &guest.Image{
+		Symbols: []guest.Symbol{
+			{Name: "hot_loop", Addr: guest.TextBase, Size: 64, Kind: guest.SymFunc},
+			{Name: "cold_path", Addr: guest.TextBase + 64, Size: 64, Kind: guest.SymFunc},
+		},
+		Lines: []guest.LineEntry{
+			{Addr: guest.TextBase, Len: 64, File: "hot.c", Line: 10},
+			{Addr: guest.TextBase + 64, Len: 64, File: "cold.c", Line: 99},
+		},
+	}
+}
+
+func TestProfilerSamplingAndReport(t *testing.T) {
+	p := NewProfiler(1)
+	for i := 0; i < 30; i++ {
+		p.Sample(guest.TextBase) // hot_loop entry
+	}
+	for i := 0; i < 10; i++ {
+		p.Sample(guest.TextBase + 64) // cold_path
+	}
+	if p.Total() != 40 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	var buf bytes.Buffer
+	if err := p.Report(&buf, testImage(), 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hot_loop") || !strings.Contains(out, "cold_path") {
+		t.Fatalf("symbols missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hot.c:10") {
+		t.Fatalf("line info missing:\n%s", out)
+	}
+	// hot_loop (75%) must be listed before cold_path (25%).
+	if strings.Index(out, "hot_loop") > strings.Index(out, "cold_path") {
+		t.Fatalf("not sorted by weight:\n%s", out)
+	}
+}
+
+func TestProfilerInterval(t *testing.T) {
+	p := NewProfiler(4)
+	for i := 0; i < 16; i++ {
+		p.Sample(0x1000)
+	}
+	if p.Total() != 4 {
+		t.Fatalf("interval sampling took %d samples, want 4", p.Total())
+	}
+}
+
+func TestProfilerUnresolvedPC(t *testing.T) {
+	p := NewProfiler(1)
+	p.Sample(0xdead0000)
+	var buf bytes.Buffer
+	if err := p.Report(&buf, testImage(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "?") {
+		t.Fatalf("unresolved PC not marked:\n%s", buf.String())
+	}
+}

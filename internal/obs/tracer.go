@@ -1,0 +1,121 @@
+package obs
+
+// Phase classifies a trace event, mirroring the Chrome trace_event `ph`
+// field: duration Begin/End pairs, Instant markers, and Diagnostic events
+// (anomalies the tracer itself flags, rendered as instants).
+type Phase byte
+
+// Phases.
+const (
+	PhaseBegin   Phase = 'B'
+	PhaseEnd     Phase = 'E'
+	PhaseInstant Phase = 'i'
+)
+
+// Event is one structured trace record. TS is the machine's block clock
+// (deterministic virtual time); Thread is the guest thread the event is
+// attributed to.
+type Event struct {
+	TS     uint64
+	Thread int
+	Phase  Phase
+	// Cat groups events by subsystem: "dbi", "sched", "omp", "core", "diag".
+	Cat  string
+	Name string
+	// Args carries event payload; values should be JSON-encodable.
+	Args map[string]any
+}
+
+// Sink consumes a stream of events.
+type Sink interface {
+	Write(ev Event)
+	// Close flushes and finalizes the sink's output.
+	Close() error
+}
+
+// Tracer fans events out to its sinks. A nil *Tracer is valid and drops
+// everything, so subsystems can emit unconditionally through a possibly-nil
+// pointer. BlockEvents gates the very-high-frequency per-block dispatch
+// events (off by default even when tracing).
+type Tracer struct {
+	sinks []Sink
+	// BlockEvents enables one instant event per dispatched basic block.
+	BlockEvents bool
+
+	events uint64
+	diags  uint64
+}
+
+// NewTracer creates a tracer writing to the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// Enabled reports whether the tracer exists and has at least one sink.
+func (tr *Tracer) Enabled() bool { return tr != nil && len(tr.sinks) > 0 }
+
+// Emit delivers an event to every sink.
+func (tr *Tracer) Emit(ev Event) {
+	if tr == nil {
+		return
+	}
+	tr.events++
+	for _, s := range tr.sinks {
+		s.Write(ev)
+	}
+}
+
+// Begin emits a duration-begin event.
+func (tr *Tracer) Begin(ts uint64, thread int, cat, name string, args map[string]any) {
+	tr.Emit(Event{TS: ts, Thread: thread, Phase: PhaseBegin, Cat: cat, Name: name, Args: args})
+}
+
+// End emits a duration-end event.
+func (tr *Tracer) End(ts uint64, thread int, cat, name string, args map[string]any) {
+	tr.Emit(Event{TS: ts, Thread: thread, Phase: PhaseEnd, Cat: cat, Name: name, Args: args})
+}
+
+// Instant emits an instant event.
+func (tr *Tracer) Instant(ts uint64, thread int, cat, name string, args map[string]any) {
+	tr.Emit(Event{TS: ts, Thread: thread, Phase: PhaseInstant, Cat: cat, Name: name, Args: args})
+}
+
+// Diagnostic emits an anomaly event under the "diag" category and counts it.
+// Consumers (tests, the CLI) can assert Diagnostics() == 0 on clean runs.
+func (tr *Tracer) Diagnostic(ts uint64, thread int, name string, args map[string]any) {
+	if tr == nil {
+		return
+	}
+	tr.diags++
+	tr.Emit(Event{TS: ts, Thread: thread, Phase: PhaseInstant, Cat: "diag", Name: name, Args: args})
+}
+
+// Events returns the number of events emitted.
+func (tr *Tracer) Events() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.events
+}
+
+// Diagnostics returns the number of diagnostic events emitted.
+func (tr *Tracer) Diagnostics() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.diags
+}
+
+// Close closes every sink, returning the first error.
+func (tr *Tracer) Close() error {
+	if tr == nil {
+		return nil
+	}
+	var first error
+	for _, s := range tr.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

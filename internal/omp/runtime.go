@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/ompt"
 	"repro/internal/vm"
 )
@@ -187,6 +188,13 @@ type Runtime struct {
 	RegionsStarted   uint64
 	StealsAttempted  uint64
 	StealsSuccessful uint64
+
+	// Obs carries the optional observability hooks; nil when disabled.
+	Obs *obs.Hooks
+	// Pre-resolved task-lifecycle counters (nil-safe when metrics off).
+	ctrTaskCreate *obs.Counter
+	ctrTaskBegin  *obs.Counter
+	ctrTaskEnd    *obs.Counter
 }
 
 // NewRuntime creates a detached runtime. Install registers its host calls on
@@ -209,6 +217,29 @@ func (r *Runtime) Attach(m *vm.Machine) {
 	r.M = m
 	if sym := m.Image.SymbolByName("__kmp_worker_entry"); sym != nil {
 		r.workerAddr = sym.Addr
+	}
+}
+
+// SetObs attaches observability hooks and pre-resolves the task-lifecycle
+// counters so the scheduling host calls increment through nil-safe pointers.
+func (r *Runtime) SetObs(h *obs.Hooks) {
+	r.Obs = h
+	if h != nil && h.Metrics != nil {
+		r.ctrTaskCreate = h.Metrics.Counter("omp_task_create_total")
+		r.ctrTaskBegin = h.Metrics.Counter("omp_task_begin_total")
+		r.ctrTaskEnd = h.Metrics.Counter("omp_task_end_total")
+	} else {
+		r.ctrTaskCreate, r.ctrTaskBegin, r.ctrTaskEnd = nil, nil, nil
+	}
+}
+
+// emit sends a task-runtime trace event on the machine's block clock.
+func (r *Runtime) emit(ph obs.Phase, t *vm.Thread, name string, args map[string]any) {
+	if h := r.Obs; h != nil && h.Tracer != nil {
+		h.Tracer.Emit(obs.Event{
+			TS: r.M.BlocksExecuted, Thread: t.ID, Phase: ph,
+			Cat: "omp", Name: name, Args: args,
+		})
 	}
 }
 
@@ -328,6 +359,7 @@ func (r *Runtime) hForkSetup(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	}
 	reg.implicitLive = len(reg.Members)
 	r.Events.ParallelBegin(t, reg.ID, len(reg.Members), fn)
+	r.emit(obs.PhaseBegin, t, "parallel", map[string]any{"region": reg.ID, "members": len(reg.Members)})
 	// Release the workers into the region (pendingRegion was set at claim
 	// time).
 	for _, ts := range reg.Members[1:] {
@@ -387,6 +419,7 @@ func (r *Runtime) hImplicitBegin(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.taskStack = append(ts.taskStack, ts.cur)
 	ts.cur = task
 	r.Events.ImplicitBegin(t, reg.ID, task.ID, ts.ThreadNum)
+	r.emit(obs.PhaseBegin, t, "implicit", map[string]any{"task": task.ID, "region": reg.ID})
 	return vm.HostResult{Ret: reg.Desc}
 }
 
@@ -398,6 +431,7 @@ func (r *Runtime) hImplicitEnd(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.cur = ts.taskStack[len(ts.taskStack)-1]
 	ts.taskStack = ts.taskStack[:len(ts.taskStack)-1]
 	r.Events.ImplicitEnd(t, reg.ID, task.ID)
+	r.emit(obs.PhaseEnd, t, "implicit", map[string]any{"task": task.ID, "region": reg.ID})
 	reg.implicitLive--
 	// Restore the enclosing team context (nested regions) or leave the
 	// team (top level / pool workers).
@@ -426,6 +460,7 @@ func (r *Runtime) hJoinWait(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	}
 	delete(r.regions, regID)
 	r.Events.ParallelEnd(t, regID)
+	r.emit(obs.PhaseEnd, t, "parallel", map[string]any{"region": regID})
 	r.Pool.Free(desc)
 	return vm.HostResult{Ret: 1}
 }

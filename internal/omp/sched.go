@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/ompt"
 	"repro/internal/vm"
 )
@@ -71,6 +72,9 @@ func (r *Runtime) hTaskEnqueue(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	}
 
 	r.Events.TaskCreate(t, task.ID, parent.ID, task.Flags, task.Fn, desc)
+	r.ctrTaskCreate.Inc()
+	r.emit(obs.PhaseInstant, t, "task_create",
+		map[string]any{"task": task.ID, "parent": parent.ID})
 
 	// Dependence matching against siblings (same parent namespace).
 	for i := 0; i < ndeps; i++ {
@@ -197,6 +201,8 @@ func (r *Runtime) findWork(ts *ThreadState) *Task {
 		v.deque = v.deque[1:]
 		r.StealsSuccessful++
 		r.stealCursor++
+		r.emit(obs.PhaseInstant, ts.T, "steal",
+			map[string]any{"task": task.ID, "victim": v.ThreadNum})
 		return task
 	}
 	return nil
@@ -215,6 +221,8 @@ func (r *Runtime) hTaskBegin(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.taskStack = append(ts.taskStack, ts.cur)
 	ts.cur = task
 	r.Events.TaskBegin(t, task.ID)
+	r.ctrTaskBegin.Inc()
+	r.emit(obs.PhaseBegin, t, "task", map[string]any{"task": task.ID})
 	return vm.HostResult{Ret: desc}
 }
 
@@ -227,6 +235,8 @@ func (r *Runtime) hTaskEnd(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.cur = ts.taskStack[len(ts.taskStack)-1]
 	ts.taskStack = ts.taskStack[:len(ts.taskStack)-1]
 	r.Events.TaskEnd(t, task.ID)
+	r.ctrTaskEnd.Inc()
+	r.emit(obs.PhaseEnd, t, "task", map[string]any{"task": task.ID})
 	task.State = TaskFinished
 	if task.Flags&ompt.FlagDetached == 0 {
 		r.completeTask(ts, task)

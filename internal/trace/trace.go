@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/dbi"
+	"repro/internal/obs"
 	"repro/internal/ompt"
 	"repro/internal/vex"
 	"repro/internal/vm"
@@ -38,6 +39,12 @@ type Recorder struct {
 	open  map[int][]*Span // per-thread stack of open spans
 	Spans []Span
 	names map[uint64]string
+
+	// Unbalanced counts task/implicit end events that arrived with no open
+	// span on the thread. A correct runtime never produces these; the count
+	// (and the tracer diagnostic emitted per occurrence) surfaces a stream
+	// bug instead of silently dropping the end.
+	Unbalanced uint64
 }
 
 // New creates a Recorder.
@@ -87,12 +94,23 @@ func (r *Recorder) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uint6
 		r.open[t.ID] = append(r.open[t.ID], s)
 	case ompt.CRTaskEnd, ompt.CRImplicitEnd:
 		stack := r.open[t.ID]
-		if n := len(stack); n > 0 {
-			s := stack[n-1]
-			r.open[t.ID] = stack[:n-1]
-			s.End = r.now()
-			r.Spans = append(r.Spans, *s)
+		n := len(stack)
+		if n == 0 {
+			// An end with no matching begin means the event stream is
+			// unbalanced — record the anomaly instead of dropping it.
+			r.Unbalanced++
+			if c := r.c; c != nil {
+				if h := c.Obs; h != nil && h.Tracer != nil {
+					h.Tracer.Diagnostic(r.now(), t.ID, "unbalanced_task_end",
+						map[string]any{"task": args[0], "code": code})
+				}
+			}
+			break
 		}
+		s := stack[n-1]
+		r.open[t.ID] = stack[:n-1]
+		s.End = r.now()
+		r.Spans = append(r.Spans, *s)
 	}
 	return 1
 }
@@ -244,5 +262,15 @@ func (t Tee) Attach(c *dbi.Core) {
 	}
 	if b, ok := t.B.(dbi.Attacher); ok {
 		b.Attach(c)
+	}
+}
+
+// PublishMetrics forwards to whichever members are metric sources.
+func (t Tee) PublishMetrics(reg *obs.Registry) {
+	if a, ok := t.A.(obs.MetricSource); ok {
+		a.PublishMetrics(reg)
+	}
+	if b, ok := t.B.(obs.MetricSource); ok {
+		b.PublishMetrics(reg)
 	}
 }

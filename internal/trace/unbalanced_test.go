@@ -1,0 +1,73 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func trivialProgram() *gbuild.Builder {
+	b := omp.NewProgram()
+	f := b.Func("main", "t.c")
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+func TestUnbalancedTaskEndCounted(t *testing.T) {
+	rec := trace.New()
+	th := &vm.Thread{ID: 0}
+	// An end with no matching begin must not be silently dropped.
+	rec.ClientRequest(th, ompt.CRTaskEnd, [6]uint64{42})
+	if rec.Unbalanced != 1 {
+		t.Fatalf("Unbalanced = %d, want 1", rec.Unbalanced)
+	}
+	if len(rec.Spans) != 0 {
+		t.Fatalf("phantom span recorded: %+v", rec.Spans)
+	}
+	// A balanced begin/end still works after the anomaly.
+	rec.ClientRequest(th, ompt.CRTaskBegin, [6]uint64{7})
+	rec.ClientRequest(th, ompt.CRTaskEnd, [6]uint64{7})
+	if len(rec.Spans) != 1 || rec.Spans[0].TaskID != 7 {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	if rec.Unbalanced != 1 {
+		t.Fatalf("Unbalanced drifted to %d", rec.Unbalanced)
+	}
+}
+
+func TestUnbalancedTaskEndDiagnostic(t *testing.T) {
+	rec := trace.New()
+	ring := obs.NewRingSink(64)
+	tr := obs.NewTracer(ring)
+	res, inst, err := harness.BuildAndRun(trivialProgram(), harness.Setup{
+		Tool: rec, Obs: &obs.Hooks{Tracer: tr},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	// Simulate a runtime bug: an end event with no open span.
+	rec.ClientRequest(inst.M.Threads()[0], ompt.CRImplicitEnd, [6]uint64{9})
+	if rec.Unbalanced != 1 {
+		t.Fatalf("Unbalanced = %d, want 1", rec.Unbalanced)
+	}
+	if tr.Diagnostics() != 1 {
+		t.Fatalf("Diagnostics = %d, want 1", tr.Diagnostics())
+	}
+	found := false
+	for _, ev := range ring.Events() {
+		if ev.Cat == "diag" && ev.Name == "unbalanced_task_end" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("diagnostic event not emitted to sink")
+	}
+}

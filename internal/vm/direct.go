@@ -51,6 +51,7 @@ func (e *DirectEngine) RunBlock(m *Machine, t *Thread) (RunResult, error) {
 			return RunOK, err
 		}
 		m.InstrsExecuted++
+		t.InstrsExecuted++
 		next := pc + guest.InstrBytes
 		r := &t.Regs
 		imm := uint64(int64(in.Imm))

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/gmem"
 	"repro/internal/guest"
+	"repro/internal/obs"
 )
 
 // ThreadExitAddr is the magic return address installed in LR when a thread
@@ -69,6 +70,11 @@ type Thread struct {
 	Tool any
 	// RT is per-thread runtime state (opaque to the VM).
 	RT any
+
+	// BlocksExecuted / InstrsExecuted are this thread's share of the
+	// machine totals (the per-thread execution metrics).
+	BlocksExecuted uint64
+	InstrsExecuted uint64
 
 	m *Machine
 }
@@ -212,10 +218,19 @@ type Machine struct {
 	BlocksExecuted uint64
 	InstrsExecuted uint64
 	Switches       uint64
+	// Slices counts scheduler timeslices started; Preemptions counts
+	// slices that expired with the thread still runnable.
+	Slices      uint64
+	Preemptions uint64
 
 	// ExtraFootprint lets tools add their shadow-structure size to the
 	// reported memory usage.
 	ExtraFootprint func() uint64
+
+	// Obs carries the optional observability hooks (metrics, tracing,
+	// profiling). Nil means observability is off: the dispatch path pays
+	// one pointer comparison per block and nothing else.
+	Obs *obs.Hooks
 }
 
 // Config parameterizes machine creation.
@@ -428,20 +443,37 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 			if m.Hooks.Switch != nil {
 				m.Hooks.Switch(t)
 			}
+			if h := m.Obs; h != nil && h.Tracer != nil {
+				h.Tracer.Instant(m.BlocksExecuted, t.ID, "sched", "switch", nil)
+			}
 		}
+		m.Slices++
+		voluntary := false
 		for i := 0; i < m.slice && t.State == ThreadRunnable && !m.exited; i++ {
+			if h := m.Obs; h != nil {
+				h.Prof.Sample(t.PC)
+				if h.Tracer != nil && h.Tracer.BlockEvents {
+					h.Tracer.Instant(m.BlocksExecuted, t.ID, "vm", "block",
+						map[string]any{"pc": t.PC})
+				}
+			}
 			res, err := m.Eng.RunBlock(m, t)
 			if err != nil {
 				return fmt.Errorf("vm: thread %d at 0x%x: %w", t.ID, t.PC, err)
 			}
 			m.BlocksExecuted++
+			t.BlocksExecuted++
 			switch res {
 			case RunOK:
 			case RunBlocked, RunThreadExited, RunProgramExited:
 				i = m.slice
 			case RunYield:
+				voluntary = true
 				i = m.slice
 			}
+		}
+		if !voluntary && t.State == ThreadRunnable && !m.exited {
+			m.Preemptions++
 		}
 	}
 	return nil
