@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-obs clean
+.PHONY: check vet build test race bench-obs fuzz clean
 
-# The full gate: vet, build, tests under the race detector, and the
-# observability benchmark smoke run (writes BENCH_obs.json).
-check: vet build race bench-obs
+# The full gate: vet, build, tests under the race detector, the fuzzer smoke
+# run, and the observability benchmark smoke run (writes BENCH_obs.json).
+check: vet build race fuzz bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
+# and the instruction decoder. Go runs one -fuzz package at a time, hence two
+# invocations.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzAssemble' -fuzztime 5s ./internal/gasm
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 5s ./internal/guest
 
 # One short iteration of the observability benchmark; the metrics snapshot
 # of the full-stack variant lands in BENCH_obs.json.

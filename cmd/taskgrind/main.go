@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drb"
+	"repro/internal/faultinject"
 	"repro/internal/gasm"
 	"repro/internal/gbuild"
 	"repro/internal/guest"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/tools/romp"
 	"repro/internal/tools/toolreg"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -50,6 +52,13 @@ func main() {
 		traceBlocks  = flag.Bool("trace-blocks", false, "include per-block dispatch events in -trace-out (very large)")
 		profileFile  = flag.String("profile", "", "write a guest-PC profile (per-symbol + flat) to this file")
 		profileEvery = flag.Uint64("profile-interval", 1, "sample every Nth block for -profile")
+		// Robustness knobs: watchdog budgets, memory model, fault injection.
+		maxBlocks  = flag.Uint64("max-blocks", 0, "watchdog: abort after N basic blocks (0 = unlimited)")
+		maxInstrs  = flag.Uint64("max-instrs", 0, "watchdog: abort after N guest instructions (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "watchdog: abort after this wall-clock time (0 = unlimited)")
+		lenientMem = flag.Bool("lenient-mem", false, "disable the strict guest memory model (wild accesses allocate silently)")
+		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched)")
+		injectSeed = flag.Uint64("inject-seed", 1, "fault injection seed (phases the -inject firing patterns)")
 		// LULESH knobs.
 		s    = flag.Int("s", 8, "lulesh: mesh size")
 		tel  = flag.Int("tel", 4, "lulesh: tasks per element loop")
@@ -62,6 +71,7 @@ func main() {
 	if *list {
 		fmt.Println("task.c   (the paper's Listing 4 example)")
 		fmt.Println("lulesh   (the proxy application; -s -tel -tnl -i -racy)")
+		fmt.Println("wildstore (fault-model demo: a task stores through a wild pointer)")
 		for _, b := range drb.All() {
 			fmt.Println(b.Name)
 		}
@@ -125,12 +135,29 @@ func main() {
 			hooks.Prof = prof
 		}
 	}
+	injector, err := faultinject.ParseSpec(*inject, *injectSeed)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	res, inst, err := harness.BuildAndRun(b, harness.Setup{
 		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout, Obs: hooks,
+		Inject:     injector,
+		LenientMem: *lenientMem,
+		RunOpts:    vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if res.Crash != nil {
+		// A contained guest failure (invalid access, runaway watchdog,
+		// deadlock, host panic): render the Valgrind-style report,
+		// symbolized through the image, and exit 3.
+		fmt.Fprint(os.Stderr, res.Crash.Render(inst.M.Image))
+		if injector.Enabled() {
+			fmt.Fprintf(os.Stderr, "==taskgrind== fault injection: %s\n", injector.Summary())
+		}
+		os.Exit(3)
 	}
 	if res.Err != nil {
 		fatal(res.Err)
@@ -222,6 +249,8 @@ func buildProgram(name string, lp lulesh.Params) (*gbuild.Builder, error) {
 		return lulesh.Build(lp)
 	case "task.c":
 		return listing4(), nil
+	case "wildstore":
+		return wildstore(), nil
 	}
 	if b, ok := drb.ByName(name); ok {
 		return b.Build(), nil
@@ -272,6 +301,40 @@ func listing4() *gbuild.Builder {
 	f.Line(4)
 	f.Ldi(r1, 0)
 	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}
+
+// wildstore is the fault-model demo: a task dereferences an uninitialized
+// "pointer" and stores into unmapped memory, which the strict memory model
+// turns into a symbolized CrashReport (exit code 3) instead of silent page
+// allocation.
+func wildstore() *gbuild.Builder {
+	b := omp.NewProgram()
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+
+	f := b.Func("bad_task", "wild.c")
+	f.Line(7)
+	f.LdConst64(r1, 0xdead0000)
+	f.Ldi(r2, 99)
+	f.St(8, r1, 0, r2) // wild store: 0xdead0000 is in no mapped region
+	f.Ret()
+
+	f = b.Func("micro", "wild.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(7)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "bad_task"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "wild.c")
+	f.Enter(0)
+	f.Line(4)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 2)
 	f.Ldi(r0, 0)
 	f.Hlt(r0)
 	return b

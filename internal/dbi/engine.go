@@ -17,7 +17,7 @@ type irEngine struct {
 }
 
 // RunBlock implements vm.Engine.
-func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (vm.RunResult, error) {
+func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err error) {
 	if t.PC == vm.ThreadExitAddr {
 		return m.ExitThread(t), nil
 	}
@@ -30,6 +30,18 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (vm.RunResult, error) {
 	}
 	tmps := e.tmps[:cap(e.tmps)]
 	lastIMark := sb.GuestAddr
+
+	// The IR engine only updates t.PC at block exits, so a fault mid-block
+	// would be attributed to the block entry. Re-panic with the last IMark so
+	// the VM's crash containment reports the precise faulting instruction.
+	defer func() {
+		if r := recover(); r != nil {
+			if ep, ok := r.(*vm.EnginePanic); ok {
+				panic(ep)
+			}
+			panic(&vm.EnginePanic{PC: lastIMark, Val: r})
+		}
+	}()
 
 	eval := func(x vex.Expr) uint64 {
 		switch x.Kind {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbi"
+	"repro/internal/gmem"
 	"repro/internal/guest"
 	"repro/internal/mem"
 	"repro/internal/vm"
@@ -54,8 +55,13 @@ func (l *Lib) Install(reg *vm.HostRegistry) {
 // runtime uses it for structures that must live in guest memory).
 func (l *Lib) Malloc(t *vm.Thread, n uint64) uint64 {
 	addr := l.Heap.Alloc(n)
-	if addr != 0 && l.core != nil {
-		l.core.RecordAlloc(addr, mem.Round(n), t.StackTrace(t.PC))
+	if addr != 0 {
+		// Grant guest access under the strict memory model. Freed blocks
+		// stay mapped (the allocator recycles them; tools report UAF).
+		t.Machine().Mem.Map(addr, mem.Round(n), gmem.PermRW)
+		if l.core != nil {
+			l.core.RecordAlloc(addr, mem.Round(n), t.StackTrace(t.PC))
+		}
 	}
 	return addr
 }

@@ -1,0 +1,42 @@
+package gasm
+
+import "testing"
+
+// FuzzAssemble: the assembler takes untrusted text (cmd/taskgrind -asm), so
+// arbitrary input must produce either a builder or an error — never a panic.
+// Note gbuild reports inconsistent programs through Link errors, so a
+// successful Assemble is also Linked to drive that path.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main:\n  ldi r0, 0\n  hlt r0\n",
+		"; comment only\n# another\n",
+		".file \"x.c\"\n.global g 8\nfunc main:\n  la r1, g\n  ld64 r0, [r1+0]\n  hlt r0\n",
+		".string s \"hi\"\n.word w 1 2 3\n.tls t 8\n",
+		"func f:\nlbl:\n  addi r1, r1, 1\n  beq r1, r2, lbl\n  ret\n",
+		".runtime omp\nfunc main:\n  hlt r0\n",
+		"func main:\n  enter 16\n  push r1\n  pop r1\n  leave\n",
+		"func main:\n  st32 [sp-4], r2\n  hcall malloc\n  creq 0x4f10\n  hlt r0\n",
+		// Near-miss inputs that must error cleanly.
+		"func main\n",
+		"ldi r0, 0\n",
+		"func main:\n  ldi r99, 0\n",
+		"func main:\n  beq r0, r1, nowhere\n",
+		".word w zz\n",
+		".global\n",
+		"func main:\n  ld64 r0, [r1+\n",
+		"func main:\n  ldi r0, 99999999999999999999\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Linking may legitimately fail (undefined symbols, no main); it
+		// just must not panic either.
+		_, _ = b.Link()
+	})
+}

@@ -21,13 +21,30 @@ const (
 // Memory is a sparse guest address space. It is not internally synchronized:
 // the DBI scheduler serializes guest execution (one thread at a time), so all
 // accesses happen from the machine loop.
+//
+// The address space carries a region permission map (see perm.go). With
+// Strict unset (the historical, lenient behaviour) the map is bookkeeping
+// only: any access allocates pages on first touch. With Strict set, Load,
+// Store and Copy — the guest-visible accessors — raise a *Fault (via panic,
+// recovered by the VM at the block boundary) for bytes outside a mapped
+// region or lacking the needed permission. WriteBytes, ReadBytes, Zero and
+// ReadCString are host-privileged (loaders, debuggers) and never fault.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// Strict enables permission checking on guest accessors.
+	Strict bool
+
+	// regions is the permission map: sorted by Lo, non-overlapping,
+	// non-empty. lastRegion caches the index that satisfied the previous
+	// check (single-threaded access only, like the rest of Memory).
+	regions    []Region
+	lastRegion int
 }
 
-// New creates an empty address space.
+// New creates an empty address space (lenient: no regions, Strict off).
 func New() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	return &Memory{pages: make(map[uint64]*[PageSize]byte), lastRegion: -1}
 }
 
 // page returns the page containing addr, allocating it on first touch.
@@ -51,8 +68,10 @@ func (m *Memory) Footprint() uint64 {
 func (m *Memory) ResidentPages() int { return len(m.pages) }
 
 // Load reads a little-endian value of the given width (1, 2, 4 or 8 bytes),
-// zero-extended to 64 bits.
+// zero-extended to 64 bits. In strict mode an unmapped or read-protected
+// access raises a *Fault.
 func (m *Memory) Load(addr uint64, width uint8) uint64 {
+	m.check(addr, width, AccessRead)
 	off := addr & pageMask
 	if off+uint64(width) <= PageSize {
 		p := m.page(addr)
@@ -76,8 +95,10 @@ func (m *Memory) Load(addr uint64, width uint8) uint64 {
 	return v
 }
 
-// Store writes a little-endian value of the given width.
+// Store writes a little-endian value of the given width. In strict mode an
+// unmapped or write-protected access raises a *Fault.
 func (m *Memory) Store(addr uint64, width uint8, val uint64) {
+	m.check(addr, width, AccessWrite)
 	off := addr & pageMask
 	if off+uint64(width) <= PageSize {
 		p := m.page(addr)

@@ -1,0 +1,45 @@
+package guest_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// FuzzDecode: the instruction decoder must accept arbitrary 8-byte words
+// without panicking — a guest image is untrusted input — and every valid
+// decode must roundtrip through Encode bit-exactly.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(guest.Instr{Op: guest.OpAddi, Rd: 1, Rs1: 2, Imm: -4}.Encode())
+	f.Add(guest.Instr{Op: guest.OpLd64, Rd: 3, Rs1: guest.SP, Imm: 16}.Encode())
+	f.Fuzz(func(t *testing.T, word uint64) {
+		in := guest.Decode(word)
+		// None of the inspection paths may panic, whatever the bytes.
+		_ = in.String()
+		_ = in.Valid()
+		_ = in.MemWidth()
+		_ = in.IsBlockEnd()
+		_ = in.IsLoad()
+		_ = in.IsStore()
+		if got := in.Encode(); got != word {
+			t.Fatalf("roundtrip: Encode(Decode(%#x)) = %#x", word, got)
+		}
+	})
+}
+
+// FuzzDecodeBytes drives Decode through the byte-slice form images use.
+func FuzzDecodeBytes(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 8 {
+			return
+		}
+		in := guest.Decode(binary.LittleEndian.Uint64(raw))
+		_ = in.String()
+		_ = in.Valid()
+	})
+}

@@ -1,0 +1,209 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dbi"
+	"repro/internal/faultinject"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/vm"
+)
+
+// wildStoreProgram is a task program where one task stores through a wild
+// pointer — the acceptance-criteria demo guest.
+func wildStoreProgram() *gbuild.Builder {
+	b := omp.NewProgram()
+
+	f := b.Func("bad_task", "wild.c")
+	f.Line(7)
+	f.LdConst64(guest.R1, 0xdead0000)
+	f.Ldi(guest.R2, 99)
+	f.St(8, guest.R1, 0, guest.R2)
+	f.Ret()
+
+	f = b.Func("micro", "wild.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(7)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "bad_task"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "wild.c")
+	f.Enter(0)
+	f.Line(4)
+	f.Ldi(guest.R1, 0)
+	omp.Parallel(f, "micro", guest.R1, 2)
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+// TestWildStoreCrashReport: a wild store must produce a symbolized
+// Valgrind-style CrashReport through both engines, never a Go panic.
+func TestWildStoreCrashReport(t *testing.T) {
+	for _, engine := range []string{"direct", "instrumented"} {
+		t.Run(engine, func(t *testing.T) {
+			setup := harness.Setup{Seed: 1, Threads: 2}
+			if engine == "instrumented" {
+				setup.Tool = core.New(core.Options{})
+			}
+			res, inst, err := harness.BuildAndRun(wildStoreProgram(), setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err == nil || res.Crash == nil {
+				t.Fatalf("wild store not contained: err=%v crash=%v", res.Err, res.Crash)
+			}
+			if res.Crash.Kind != "invalid-access" {
+				t.Fatalf("kind = %q", res.Crash.Kind)
+			}
+			text := res.Crash.Render(inst.M.Image)
+			for _, want := range []string{
+				"Invalid write of size 8 at 0xdead0000",
+				"bad_task (wild.c:7)",
+			} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("report missing %q:\n%s", want, text)
+				}
+			}
+			if inst.M.GuestFaults != 1 {
+				t.Fatalf("GuestFaults = %d", inst.M.GuestFaults)
+			}
+		})
+	}
+}
+
+// TestLenientMemCompatFlag: the compat flag restores the old behaviour — the
+// same wild store silently allocates and the program exits cleanly.
+func TestLenientMemCompatFlag(t *testing.T) {
+	res, _, err := harness.BuildAndRun(wildStoreProgram(), harness.Setup{
+		Seed: 1, Threads: 2, LenientMem: true,
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("lenient run failed: %v / %v", err, res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+// TestFaultInjectionGracefulDegradation is the acceptance-criteria table:
+// every injection kind, at several intensities, under both the direct and the
+// instrumented engine. No Go panic may escape harness.Run (a panic would fail
+// the test by crashing it); runs either finish cleanly or produce a
+// structured contained error.
+func TestFaultInjectionGracefulDegradation(t *testing.T) {
+	kinds := append([]faultinject.Kind(nil), faultinject.Kinds...)
+	engines := []string{"direct", "instrumented"}
+	for _, kind := range kinds {
+		for _, every := range []uint64{1, 3} {
+			for _, engine := range engines {
+				name := fmt.Sprintf("%s-every%d-%s", kind, every, engine)
+				t.Run(name, func(t *testing.T) {
+					in := faultinject.New(7)
+					in.Enable(kind, every)
+					setup := harness.Setup{
+						Seed: 2, Threads: 4, Inject: in,
+						// Budget so an injection-induced livelock turns into
+						// a watchdog report instead of hanging the test.
+						RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
+					}
+					if engine == "instrumented" {
+						setup.Tool = core.New(core.Options{})
+					}
+					res, inst, err := harness.BuildAndRun(randTaskProgram(11), setup)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Err != nil && res.Crash == nil {
+						t.Fatalf("unstructured failure: %v", res.Err)
+					}
+					// The injector must actually have been consulted for the
+					// kinds this program exercises.
+					if kind == faultinject.PoolAlloc && in.Seen(kind) == 0 {
+						t.Fatal("pool injection never consulted")
+					}
+					_ = inst
+				})
+			}
+		}
+	}
+}
+
+// TestFaultInjectionDeterminism: same (program, seed, injection spec) gives
+// identical outcomes.
+func TestFaultInjectionDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, string) {
+		in, err := faultinject.ParseSpec("pool=3,steal=2,sched=5", 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, inst, err := harness.BuildAndRun(randTaskProgram(5), harness.Setup{
+			Seed: 3, Threads: 4, Inject: in,
+			RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errText := ""
+		if res.Err != nil {
+			errText = res.Err.Error()
+		}
+		return res.GuestInstrs, inst.M.ExitCode(), errText + "|" + in.Summary()
+	}
+	i1, e1, s1 := run()
+	i2, e2, s2 := run()
+	if i1 != i2 || e1 != e2 || s1 != s2 {
+		t.Fatalf("injection run diverged: (%d,%d,%q) vs (%d,%d,%q)", i1, e1, s1, i2, e2, s2)
+	}
+}
+
+// TestPoolExhaustionDropsTasksGracefully: with every pool allocation failing,
+// regions and tasks are skipped NULL-style and the program still terminates.
+func TestPoolExhaustionDropsTasksGracefully(t *testing.T) {
+	in := faultinject.New(1)
+	in.Enable(faultinject.PoolAlloc, 1)
+	res, inst, err := harness.BuildAndRun(randTaskProgram(3), harness.Setup{
+		Seed: 1, Threads: 4, Inject: in,
+		RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("total pool failure not graceful: %v", res.Err)
+	}
+	if inst.OMP.AllocFailures == 0 {
+		t.Fatal("no alloc failures recorded")
+	}
+	if inst.OMP.TasksCreated != 0 {
+		t.Fatalf("tasks created despite failing allocator: %d", inst.OMP.TasksCreated)
+	}
+}
+
+// TestToolFiniPanicContained: a tool whose analysis pass panics surfaces as a
+// HostPanic result, not a process crash.
+func TestToolFiniPanicContained(t *testing.T) {
+	res, _, err := harness.BuildAndRun(randTaskProgram(1), harness.Setup{
+		Seed: 1, Threads: 2, Tool: finiPanicTool{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || res.Crash == nil || res.Crash.Kind != "host-panic" {
+		t.Fatalf("Fini panic not contained: err=%v crash=%+v", res.Err, res.Crash)
+	}
+}
+
+type finiPanicTool struct{ dbi.NopTool }
+
+func (finiPanicTool) Name() string     { return "fini-panic" }
+func (finiPanicTool) Fini(c *dbi.Core) { panic("fini blew up") }

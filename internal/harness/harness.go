@@ -7,11 +7,13 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dbi"
 	"repro/internal/dbi/hostlib"
+	"repro/internal/faultinject"
 	"repro/internal/gbuild"
 	"repro/internal/guest"
 	"repro/internal/obs"
@@ -41,14 +43,25 @@ type Setup struct {
 	// Obs attaches the observability layer (metrics/tracing/profiling).
 	// Nil keeps every hook site on its fast no-op path.
 	Obs *obs.Hooks
+	// Inject wires deterministic fault injection into the heap, the fast
+	// pool, the work-stealer and the scheduler. Nil injects nothing.
+	Inject *faultinject.Injector
+	// RunOpts bounds the run (watchdog budgets); the zero value is unlimited.
+	RunOpts vm.RunOpts
+	// LenientMem restores the pre-fault-model memory semantics (wild guest
+	// accesses silently allocate instead of raising a GuestFault).
+	LenientMem bool
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
 type Instance struct {
-	M    *vm.Machine
-	Core *dbi.Core
-	Lib  *hostlib.Lib
-	OMP  *omp.Runtime
+	M      *vm.Machine
+	Core   *dbi.Core
+	Lib    *hostlib.Lib
+	OMP    *omp.Runtime
+	Inject *faultinject.Injector
+	// RunOpts are applied by Run.
+	RunOpts vm.RunOpts
 }
 
 // New builds an instance.
@@ -69,14 +82,24 @@ func New(s Setup) (*Instance, error) {
 	if slice == 0 {
 		slice = 3
 	}
-	m, err := vm.New(s.Image, reg, vm.Config{Seed: s.Seed, Stdout: s.Stdout, Slice: slice})
+	m, err := vm.New(s.Image, reg, vm.Config{
+		Seed: s.Seed, Stdout: s.Stdout, Slice: slice, LenientMem: s.LenientMem,
+	})
 	if err != nil {
 		return nil, err
 	}
 	inst.M = m
+	inst.RunOpts = s.RunOpts
 	inst.Core = dbi.New(m, s.Tool)
 	inst.Lib.Bind(inst.Core)
 	inst.OMP.Attach(m)
+	if in := s.Inject; in != nil && in.Enabled() {
+		inst.Inject = in
+		inst.Lib.Heap.FailHook = func(uint64) bool { return in.Fire(faultinject.HeapAlloc) }
+		inst.OMP.Pool.FailHook = func(uint64) bool { return in.Fire(faultinject.PoolAlloc) }
+		inst.OMP.DenySteal = func() bool { return in.Fire(faultinject.StealDeny) }
+		m.Perturb = func() bool { return in.Fire(faultinject.SchedPerturb) }
+	}
 	if tg, ok := s.Tool.(*core.Taskgrind); ok && tg.Opt.NoFreePool {
 		// The §IV-B future-work extension: neutralize the runtime's
 		// internal allocator recycling (the effect of wrapping
@@ -124,14 +147,22 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("dbi_cache_stmts").Set(c.CacheStmts())
 	reg.Gauge("dbi_cache_footprint_bytes").Set(float64(c.CacheFootprint()))
 
+	reg.Counter("vm_guest_faults_total").Set(m.GuestFaults)
+	reg.Counter("vm_host_panics_total").Set(m.HostPanics)
+	reg.Counter("vm_watchdog_trips_total").Set(m.WatchdogTrips)
+
 	r := inst.OMP
 	reg.Counter("omp_tasks_created_total").Set(r.TasksCreated)
 	reg.Counter("omp_tasks_undeferred_total").Set(r.TasksUndeferred)
 	reg.Counter("omp_regions_total").Set(r.RegionsStarted)
 	reg.Counter("omp_steals_attempted_total").Set(r.StealsAttempted)
 	reg.Counter("omp_steals_successful_total").Set(r.StealsSuccessful)
+	reg.Counter("omp_steals_denied_total").Set(r.StealsDenied)
+	reg.Counter("omp_alloc_failures_total").Set(r.AllocFailures)
 	reg.Counter("pool_allocs_total").Set(r.Pool.TotalAlloc)
 	reg.Counter("pool_frees_total").Set(r.Pool.TotalFree)
+
+	inst.Inject.PublishMetrics(reg)
 
 	heap := inst.Lib.Heap
 	reg.Counter("heap_allocs_total").Set(heap.TotalAlloc)
@@ -155,17 +186,24 @@ type Result struct {
 	// Footprint is guest memory + tool shadow memory at exit.
 	Footprint uint64
 	Err       error
+	// Crash is the structured report when Err is a contained failure
+	// (guest fault, host panic, watchdog, deadlock); nil otherwise.
+	Crash *vm.CrashReport
 }
 
 // Run executes the program (and the tool's Fini pass) and reports metrics.
 // The wall time covers the recording phase only; analysis time is the
 // tool's business, matching the paper's measurement methodology.
+//
+// Run never lets a Go panic escape: the VM contains panics at the block
+// boundary, and the tool's Fini pass (which runs outside the VM) is guarded
+// here. Contained failures come back as Result.Err with Result.Crash set.
 func (inst *Instance) Run() Result {
 	start := time.Now()
-	err := inst.M.Run()
+	err := inst.M.RunOpts(inst.RunOpts)
 	wall := time.Since(start)
 	if err == nil && inst.Core.Tool() != nil {
-		inst.Core.Tool().Fini(inst.Core)
+		err = inst.finiGuarded()
 	}
 	return Result{
 		ExitCode:    inst.M.ExitCode(),
@@ -173,7 +211,22 @@ func (inst *Instance) Run() Result {
 		GuestInstrs: inst.M.InstrsExecuted,
 		Footprint:   inst.M.Footprint(),
 		Err:         err,
+		Crash:       inst.M.CrashReport(err),
 	}
+}
+
+// finiGuarded runs the tool's analysis pass with panic containment: Fini
+// executes host-side after the guest has exited, so the VM's block-boundary
+// recover cannot cover it.
+func (inst *Instance) finiGuarded() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inst.M.HostPanics++
+			err = &vm.HostPanic{Val: r, TID: -1, GoStack: debug.Stack()}
+		}
+	}()
+	inst.Core.Tool().Fini(inst.Core)
+	return nil
 }
 
 // BuildAndRun links a builder, builds an instance and runs it — the

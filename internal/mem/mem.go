@@ -29,6 +29,11 @@ type Allocator struct {
 	// free-as-no-op redirection).
 	Recycle bool
 
+	// FailHook, when set, is consulted on every Alloc; returning true makes
+	// that allocation fail (return 0) as if the region were exhausted. Fault
+	// injection uses it to exercise out-of-memory paths deterministically.
+	FailHook func(n uint64) bool
+
 	liveBytes  uint64
 	peakBytes  uint64
 	TotalAlloc uint64
@@ -56,6 +61,9 @@ func Round(n uint64) uint64 {
 // Alloc returns the address of a block of at least n bytes, or 0 when the
 // region is exhausted.
 func (a *Allocator) Alloc(n uint64) uint64 {
+	if a.FailHook != nil && a.FailHook(n) {
+		return 0
+	}
 	r := Round(n)
 	if a.Recycle {
 		if fl := a.free[r]; len(fl) > 0 {

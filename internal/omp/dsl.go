@@ -82,11 +82,16 @@ func EmitTask(f *gbuild.Func, o TaskOpts) {
 	frame := 16*ndeps + 16 // dep array + saved descriptor slot
 	f.Addi(guest.SP, guest.SP, -frame)
 
-	// Allocate the descriptor.
+	// Allocate the descriptor. A NULL return (pool exhausted, possibly
+	// fault-injected) skips the whole construct: the task is dropped, like
+	// user code checking kmp_task_alloc's result.
 	f.Ldi(guest.R0, o.PayloadBytes)
 	f.LoadSym(guest.R1, o.Fn)
-	f.Hcall("__kmp_task_alloc") // r0 = desc
+	f.Hcall("__kmp_task_alloc") // r0 = desc, 0 on exhaustion
 	f.St(8, guest.SP, 16*ndeps, guest.R0)
+	fail := f.NewLabel()
+	f.Ldi(guest.R9, 0)
+	f.Beq(guest.R0, guest.R9, fail)
 
 	// Capture firstprivates (user-code stores into the payload).
 	if o.Fill != nil {
@@ -114,6 +119,7 @@ func EmitTask(f *gbuild.Func, o TaskOpts) {
 	f.Beq(guest.R0, guest.R9, skip)
 	f.Call("__kmp_invoke_task")
 	f.Bind(skip)
+	f.Bind(fail)
 	f.Addi(guest.SP, guest.SP, frame)
 }
 

@@ -16,7 +16,10 @@ func EmitPrelude(b *gbuild.Builder) {
 	// __kmpc_fork_call(fn, arg, nthreads): run a parallel region.
 	f := b.Func("__kmpc_fork_call", file)
 	f.Enter(16)
-	f.Hcall("__kmp_fork_setup") // r0 = region desc
+	f.Hcall("__kmp_fork_setup") // r0 = region desc, 0 when the pool is exhausted
+	fail := f.NewLabel()
+	f.Ldi(guest.R1, 0)
+	f.Beq(guest.R0, guest.R1, fail)
 	f.StLocal(8, 8, guest.R0)
 	f.Call("__kmp_run_implicit")
 	join := f.NewLabel()
@@ -25,6 +28,7 @@ func EmitPrelude(b *gbuild.Builder) {
 	f.Hcall("__kmp_join_wait") // 1 done, 0 keep waiting
 	f.Ldi(guest.R1, 0)
 	f.Beq(guest.R0, guest.R1, join)
+	f.Bind(fail)
 	f.Leave()
 
 	// __kmp_run_implicit(desc): execute this thread's implicit task, then

@@ -17,6 +17,7 @@ package omp
 import (
 	"fmt"
 
+	"repro/internal/gmem"
 	"repro/internal/guest"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -182,12 +183,20 @@ type Runtime struct {
 	// StealSeed varies victim selection.
 	stealCursor int
 
+	// DenySteal, when set, is consulted on every steal attempt; returning
+	// true makes the attempt fail (fault injection: a contended victim).
+	DenySteal func() bool
+
 	// Stats.
 	TasksCreated     uint64
 	TasksUndeferred  uint64
 	RegionsStarted   uint64
 	StealsAttempted  uint64
 	StealsSuccessful uint64
+	StealsDenied     uint64
+	// AllocFailures counts NULL returns from the fast pool (exhaustion or
+	// injected failure) surfaced to the guest.
+	AllocFailures uint64
 
 	// Obs carries the optional observability hooks; nil when disabled.
 	Obs *obs.Hooks
@@ -210,6 +219,13 @@ func NewRuntime() *Runtime {
 		tasksByID:  make(map[uint64]*Task),
 		regions:    make(map[uint64]*Region),
 	}
+}
+
+// mapAlloc grants the guest RW access over a fresh fast-pool block under the
+// strict memory model. Freed blocks stay mapped: the pool recycles them, and
+// use-after-free is the tools' business, not a segfault.
+func (r *Runtime) mapAlloc(m *vm.Machine, addr uint64) {
+	m.Mem.Map(addr, r.Pool.SizeOf(addr), gmem.PermRW)
 }
 
 // Attach binds the runtime to its machine (after vm.New).
@@ -322,9 +338,17 @@ func (r *Runtime) hForkSetup(m *vm.Machine, t *vm.Thread) vm.HostResult {
 		// nesting-disabled LLVM runtime.
 		n = 1
 	}
+	desc := r.Pool.Alloc(rdLen)
+	if desc == 0 {
+		// Pool exhausted: the region cannot start. Return NULL; the emitted
+		// __kmpc_fork_call checks and skips the region body (the serial
+		// fallback a real runtime takes when it cannot set up a team).
+		r.AllocFailures++
+		return vm.HostResult{Ret: 0}
+	}
+	r.mapAlloc(m, desc)
 	r.nextRegionID++
 	r.RegionsStarted++
-	desc := r.Pool.Alloc(rdLen)
 	m.Mem.Store(desc+rdFn, 8, fn)
 	m.Mem.Store(desc+rdArg, 8, arg)
 	m.Mem.Store(desc+rdID, 8, r.nextRegionID)

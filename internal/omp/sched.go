@@ -18,8 +18,13 @@ func (r *Runtime) hTaskAlloc(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	fn := t.Regs[guest.R1]
 	desc := r.Pool.Alloc(TDPayload + size)
 	if desc == 0 {
-		panic("omp: fast pool exhausted")
+		// Pool exhausted (or fault-injected): return NULL like
+		// __kmp_fast_allocate falling back to a failed malloc. The emitted
+		// task-creation sequence checks and skips the task.
+		r.AllocFailures++
+		return vm.HostResult{Ret: 0}
 	}
+	r.mapAlloc(m, desc)
 	m.Mem.Store(desc+TDFn, 8, fn)
 	m.Mem.Store(desc+TDFlags, 8, 0)
 	return vm.HostResult{Ret: desc}
@@ -193,6 +198,10 @@ func (r *Runtime) findWork(ts *ThreadState) *Task {
 	n := len(reg.Members)
 	for i := 1; i < n; i++ {
 		r.StealsAttempted++
+		if r.DenySteal != nil && r.DenySteal() {
+			r.StealsDenied++
+			continue
+		}
 		v := reg.Members[(ts.ThreadNum+i+r.stealCursor)%n]
 		if v == ts || len(v.deque) == 0 {
 			continue

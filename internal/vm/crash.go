@@ -1,0 +1,291 @@
+package vm
+
+// This file is the guest fault model and crash-containment layer. A buggy
+// guest must never take the host down: wild accesses, runaway loops,
+// deadlocks and even host-side panics raised while servicing the guest are
+// converted at the basic-block boundary into structured errors that carry
+// the faulting thread, its guest PC and a symbolizable stack trace — the
+// analog of Valgrind turning SIGSEGV into an error report instead of dying.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/gmem"
+	"repro/internal/guest"
+)
+
+// GuestFault reports an invalid guest memory access caught by the strict
+// gmem permission map: the DBI equivalent of a segmentation fault.
+type GuestFault struct {
+	// PC is the guest address of the faulting instruction.
+	PC uint64
+	// Addr is the first violating byte.
+	Addr uint64
+	// Access is read or write.
+	Access gmem.Access
+	// Width is the access size in bytes.
+	Width uint8
+	// Perm is what was mapped at Addr (PermNone when unmapped).
+	Perm gmem.Perm
+	// TID is the faulting guest thread.
+	TID int
+	// Stack is the shadow call stack at the fault, innermost first.
+	Stack []uint64
+}
+
+// Error implements error.
+func (f *GuestFault) Error() string {
+	why := "unmapped"
+	if f.Perm != gmem.PermNone {
+		why = "protection " + f.Perm.String()
+	}
+	return fmt.Sprintf("vm: invalid %s of size %d at 0x%x (%s) by thread %d at pc 0x%x",
+		f.Access, f.Width, f.Addr, why, f.TID, f.PC)
+}
+
+// HostPanic reports a Go panic raised host-side (runtime host calls, tool
+// instrumentation, IR evaluation) while running a guest block, recovered at
+// the block boundary instead of crashing the process.
+type HostPanic struct {
+	// Val is the recovered panic value.
+	Val any
+	// PC/TID/Stack locate the guest when the panic fired.
+	PC    uint64
+	TID   int
+	Stack []uint64
+	// GoStack is the host stack trace (debug.Stack) for diagnostics.
+	GoStack []byte
+}
+
+// Error implements error.
+func (p *HostPanic) Error() string {
+	return fmt.Sprintf("vm: host panic while running thread %d at pc 0x%x: %v", p.TID, p.PC, p.Val)
+}
+
+// EnginePanic lets an execution engine annotate a panic that unwinds through
+// it with the precise guest PC (e.g. the last IMark of an IR block, which is
+// finer-grained than the block entry the VM would otherwise report). Engines
+// recover, wrap and re-panic; runBlockGuarded unwraps.
+type EnginePanic struct {
+	PC  uint64
+	Val any
+}
+
+// WatchdogError reports a tripped execution watchdog: a block, instruction
+// or wall-clock budget was exhausted while the guest was still running.
+type WatchdogError struct {
+	// Kind is "blocks", "instrs" or "wall".
+	Kind string
+	// Limit is the budget that tripped (blocks, instructions, or
+	// nanoseconds for "wall").
+	Limit uint64
+	// Threads is the per-thread state dump at the trip.
+	Threads []ThreadDump
+}
+
+// Error implements error. The "blocks" form keeps the historical
+// "block budget (%d) exhausted" wording.
+func (w *WatchdogError) Error() string {
+	switch w.Kind {
+	case "blocks":
+		return fmt.Sprintf("vm: block budget (%d) exhausted", w.Limit)
+	case "instrs":
+		return fmt.Sprintf("vm: instruction budget (%d) exhausted", w.Limit)
+	default:
+		return fmt.Sprintf("vm: wall-clock timeout (%v) exceeded", time.Duration(w.Limit))
+	}
+}
+
+// DeadlockError enriches ErrDeadlock with each thread's block reason and
+// stack trace. errors.Is(err, ErrDeadlock) keeps working.
+type DeadlockError struct {
+	Threads []ThreadDump
+	summary string
+}
+
+// Error implements error, preserving the historical message shape.
+func (e *DeadlockError) Error() string { return ErrDeadlock.Error() + e.summary }
+
+// Unwrap makes errors.Is(err, ErrDeadlock) true.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// ThreadDump is a point-in-time snapshot of one guest thread, used in crash
+// reports, watchdog trips and deadlock diagnostics.
+type ThreadDump struct {
+	ID          int
+	State       ThreadState
+	BlockReason string
+	PC          uint64
+	// Stack is the shadow call stack, innermost first.
+	Stack []uint64
+	// Blocks/Instrs are the thread's execution totals.
+	Blocks, Instrs uint64
+}
+
+// stateName renders a ThreadState.
+func stateName(s ThreadState) string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadBlocked:
+		return "blocked"
+	default:
+		return "exited"
+	}
+}
+
+// DumpThreads snapshots every thread's state (crash reports, watchdog).
+func (m *Machine) DumpThreads() []ThreadDump {
+	out := make([]ThreadDump, 0, len(m.threads))
+	for _, t := range m.threads {
+		out = append(out, ThreadDump{
+			ID:          t.ID,
+			State:       t.State,
+			BlockReason: t.BlockReason,
+			PC:          t.PC,
+			Stack:       t.StackTrace(t.PC),
+			Blocks:      t.BlocksExecuted,
+			Instrs:      t.InstrsExecuted,
+		})
+	}
+	return out
+}
+
+// CrashReport is the Valgrind-style rendering of a contained failure:
+// what happened, where (symbolized), and what every thread was doing.
+type CrashReport struct {
+	// Kind is "invalid-access", "host-panic", "watchdog" or "deadlock".
+	Kind string
+	// Err is the underlying structured error.
+	Err error
+	// TID is the faulting thread (-1 when the failure is not attributable
+	// to a single thread, e.g. deadlock).
+	TID int
+	// PC is the faulting guest address (0 when not applicable).
+	PC uint64
+	// Stack is the faulting thread's stack, innermost first.
+	Stack []uint64
+	// Threads dumps every thread.
+	Threads []ThreadDump
+}
+
+// CrashReport classifies err. It returns nil when err is nil or not one of
+// the contained-failure types (plain errors stay plain).
+func (m *Machine) CrashReport(err error) *CrashReport {
+	if err == nil {
+		return nil
+	}
+	var gf *GuestFault
+	if errors.As(err, &gf) {
+		return &CrashReport{Kind: "invalid-access", Err: gf, TID: gf.TID,
+			PC: gf.PC, Stack: gf.Stack, Threads: m.DumpThreads()}
+	}
+	var hp *HostPanic
+	if errors.As(err, &hp) {
+		return &CrashReport{Kind: "host-panic", Err: hp, TID: hp.TID,
+			PC: hp.PC, Stack: hp.Stack, Threads: m.DumpThreads()}
+	}
+	var wd *WatchdogError
+	if errors.As(err, &wd) {
+		return &CrashReport{Kind: "watchdog", Err: wd, TID: -1, Threads: wd.Threads}
+	}
+	var dl *DeadlockError
+	if errors.As(err, &dl) {
+		return &CrashReport{Kind: "deadlock", Err: dl, TID: -1, Threads: dl.Threads}
+	}
+	return nil
+}
+
+// Render formats the report with the image's symbol and line tables:
+//
+//	==taskgrind== Invalid write of size 8 at 0xdead0000 (unmapped) by thread 2
+//	==taskgrind==    at task_a (task.c:8)
+//	==taskgrind==    by micro (task.c:6)
+func (r *CrashReport) Render(im *guest.Image) string {
+	const tag = "==taskgrind== "
+	var sb strings.Builder
+	switch e := r.Err.(type) {
+	case *GuestFault:
+		why := "unmapped"
+		if e.Perm != gmem.PermNone {
+			why = "protection " + e.Perm.String()
+		}
+		fmt.Fprintf(&sb, "%sInvalid %s of size %d at 0x%x (%s) by thread %d\n",
+			tag, e.Access, e.Width, e.Addr, why, e.TID)
+	case *HostPanic:
+		fmt.Fprintf(&sb, "%sRuntime failure while running thread %d: %v\n", tag, e.TID, e.Val)
+	case *WatchdogError:
+		fmt.Fprintf(&sb, "%sWatchdog: %v\n", tag, e)
+	case *DeadlockError:
+		fmt.Fprintf(&sb, "%sDeadlock: no runnable threads\n", tag)
+	default:
+		fmt.Fprintf(&sb, "%s%v\n", tag, r.Err)
+	}
+	writeStack := func(stack []uint64) {
+		for i, pc := range stack {
+			how := "by"
+			if i == 0 {
+				how = "at"
+			}
+			loc := fmt.Sprintf("0x%x", pc)
+			if im != nil {
+				loc = im.Locate(pc)
+			}
+			fmt.Fprintf(&sb, "%s   %s %s\n", tag, how, loc)
+		}
+	}
+	if len(r.Stack) > 0 {
+		writeStack(r.Stack)
+	}
+	if r.Kind == "deadlock" || r.Kind == "watchdog" {
+		for _, td := range r.Threads {
+			if td.State == ThreadExited {
+				continue
+			}
+			reason := td.BlockReason
+			if reason == "" {
+				reason = "-"
+			}
+			fmt.Fprintf(&sb, "%sthread %d: %s (reason: %s) at pc 0x%x, %d blocks, %d instrs\n",
+				tag, td.ID, stateName(td.State), reason, td.PC, td.Blocks, td.Instrs)
+			writeStack(td.Stack)
+		}
+	}
+	return sb.String()
+}
+
+// runBlockGuarded executes one block, converting any panic that unwinds out
+// of the engine (guest faults from strict gmem, host-side runtime panics,
+// tool bugs) into a structured error — the crash-containment boundary.
+func (m *Machine) runBlockGuarded(t *Thread) (res RunResult, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		pc := t.PC
+		if ep, ok := r.(*EnginePanic); ok {
+			pc = ep.PC
+			r = ep.Val
+		}
+		if f, ok := r.(*gmem.Fault); ok {
+			m.GuestFaults++
+			err = &GuestFault{
+				PC: pc, Addr: f.Addr, Access: f.Access, Width: f.Width,
+				Perm: f.Perm, TID: t.ID, Stack: t.StackTrace(pc),
+			}
+		} else {
+			m.HostPanics++
+			err = &HostPanic{
+				Val: r, PC: pc, TID: t.ID,
+				Stack: t.StackTrace(pc), GoStack: debug.Stack(),
+			}
+		}
+		res = RunOK
+	}()
+	return m.Eng.RunBlock(m, t)
+}

@@ -1,0 +1,251 @@
+package vm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gbuild"
+	"repro/internal/gmem"
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// buildWildStore links main -> victim, where victim stores through a wild
+// pointer. The call gives the fault a nontrivial stack to symbolize.
+func buildWildStore(t *testing.T) *guest.Image {
+	t.Helper()
+	b := gbuild.New()
+	f := b.Func("main", "w.c")
+	f.Line(3)
+	f.Call("victim")
+	f.Hlt(guest.R0)
+	v := b.Func("victim", "w.c")
+	v.Enter(0)
+	v.Line(9)
+	v.LdConst64(guest.R1, 0xdead0000)
+	v.Ldi(guest.R2, 7)
+	v.St(8, guest.R1, 0, guest.R2)
+	v.Leave()
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestWildStoreRaisesGuestFault(t *testing.T) {
+	im := buildWildStore(t)
+	m, err := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run()
+	var gf *vm.GuestFault
+	if !errors.As(err, &gf) {
+		t.Fatalf("err = %v (%T), want *GuestFault", err, err)
+	}
+	if gf.Addr != 0xdead0000 || gf.Access != gmem.AccessWrite || gf.Width != 8 || gf.TID != 0 {
+		t.Fatalf("fault = %+v", gf)
+	}
+	if len(gf.Stack) < 2 {
+		t.Fatalf("stack = %#x, want victim + main", gf.Stack)
+	}
+	if m.GuestFaults != 1 {
+		t.Fatalf("GuestFaults = %d", m.GuestFaults)
+	}
+
+	rep := m.CrashReport(err)
+	if rep == nil || rep.Kind != "invalid-access" {
+		t.Fatalf("report = %+v", rep)
+	}
+	text := rep.Render(im)
+	for _, want := range []string{"Invalid write of size 8 at 0xdead0000", "victim (w.c:9)", "by main (w.c:3)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLenientMemCompat(t *testing.T) {
+	im := buildWildStore(t)
+	m, err := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1, LenientMem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("lenient run failed: %v", err)
+	}
+	if m.Mem.Load(0xdead0000, 8) != 7 {
+		t.Fatal("lenient wild store lost")
+	}
+}
+
+func TestHostPanicContained(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "h.c")
+	f.Line(2)
+	f.Hcall("boom")
+	f.Hlt(guest.R0)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := vm.NewHostRegistry()
+	reg.Register("boom", func(m *vm.Machine, t *vm.Thread) vm.HostResult {
+		panic("kaboom")
+	})
+	m, _ := vm.New(im, reg, vm.Config{Seed: 1})
+	err = m.Run()
+	var hp *vm.HostPanic
+	if !errors.As(err, &hp) {
+		t.Fatalf("err = %v (%T), want *HostPanic", err, err)
+	}
+	if hp.Val != "kaboom" || hp.TID != 0 || len(hp.GoStack) == 0 {
+		t.Fatalf("panic = %+v", hp)
+	}
+	if m.HostPanics != 1 {
+		t.Fatalf("HostPanics = %d", m.HostPanics)
+	}
+	if rep := m.CrashReport(err); rep == nil || rep.Kind != "host-panic" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func buildInfiniteLoop(t *testing.T) *guest.Image {
+	t.Helper()
+	b := gbuild.New()
+	f := b.Func("main", "l.c")
+	loop := f.NewLabel()
+	f.Bind(loop)
+	f.Addi(guest.R1, guest.R1, 1)
+	f.Jmp(loop)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestWatchdogKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		opts vm.RunOpts
+		kind string
+	}{
+		{"blocks", vm.RunOpts{MaxBlocks: 100}, "blocks"},
+		{"instrs", vm.RunOpts{MaxInstrs: 500}, "instrs"},
+		{"wall", vm.RunOpts{Timeout: 10 * time.Millisecond}, "wall"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			im := buildInfiniteLoop(t)
+			m, _ := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+			err := m.RunOpts(tc.opts)
+			var wd *vm.WatchdogError
+			if !errors.As(err, &wd) {
+				t.Fatalf("err = %v (%T), want *WatchdogError", err, err)
+			}
+			if wd.Kind != tc.kind {
+				t.Fatalf("kind = %q, want %q", wd.Kind, tc.kind)
+			}
+			if len(wd.Threads) != 1 || wd.Threads[0].State != vm.ThreadRunnable {
+				t.Fatalf("threads = %+v", wd.Threads)
+			}
+			if m.WatchdogTrips != 1 {
+				t.Fatalf("WatchdogTrips = %d", m.WatchdogTrips)
+			}
+			rep := m.CrashReport(err)
+			if rep == nil || rep.Kind != "watchdog" {
+				t.Fatalf("report = %+v", rep)
+			}
+			if text := rep.Render(im); !strings.Contains(text, "thread 0: runnable") {
+				t.Fatalf("render missing thread dump:\n%s", text)
+			}
+		})
+	}
+}
+
+func TestBlockBudgetMessageCompat(t *testing.T) {
+	im := buildInfiniteLoop(t)
+	m, _ := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+	err := m.RunOpts(vm.RunOpts{MaxBlocks: 100})
+	if err == nil || !strings.Contains(err.Error(), "block budget (100) exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadlockErrorCarriesThreadDumps(t *testing.T) {
+	b := gbuild.New()
+	f := b.Func("main", "d.c")
+	f.Line(5)
+	f.Hcall("block_forever")
+	f.Hlt(guest.R0)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := vm.NewHostRegistry()
+	reg.Register("block_forever", func(m *vm.Machine, t *vm.Thread) vm.HostResult {
+		return vm.HostResult{Action: vm.HostBlock, Reason: "forever"}
+	})
+	m, _ := vm.New(im, reg, vm.Config{Seed: 1})
+	err = m.Run()
+	if !errors.Is(err, vm.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var dl *vm.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %T, want *DeadlockError", err)
+	}
+	if len(dl.Threads) != 1 || dl.Threads[0].BlockReason != "forever" {
+		t.Fatalf("threads = %+v", dl.Threads)
+	}
+	rep := m.CrashReport(err)
+	if rep == nil || rep.Kind != "deadlock" {
+		t.Fatalf("report = %+v", rep)
+	}
+	text := rep.Render(im)
+	if !strings.Contains(text, "reason: forever") || !strings.Contains(text, "main (d.c:5)") {
+		t.Fatalf("render missing block reason or symbol:\n%s", text)
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	// Unbounded recursion must hit the unmapped guard gap below the stack
+	// and fault, not corrupt a neighbouring thread's stack.
+	b := gbuild.New()
+	f := b.Func("main", "r.c")
+	f.Call("recurse")
+	f.Hlt(guest.R0)
+	r := b.Func("recurse", "r.c")
+	r.Enter(64)
+	r.Call("recurse")
+	r.Leave()
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+	err = m.RunOpts(vm.RunOpts{MaxBlocks: 10_000_000})
+	var gf *vm.GuestFault
+	if !errors.As(err, &gf) {
+		t.Fatalf("err = %v (%T), want *GuestFault", err, err)
+	}
+	main := m.Thread(0)
+	if gf.Addr >= main.StackLo {
+		t.Fatalf("fault addr %#x not below stack lo %#x", gf.Addr, main.StackLo)
+	}
+}
+
+func TestCrashReportNilForPlainErrors(t *testing.T) {
+	im := buildInfiniteLoop(t)
+	m, _ := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+	if rep := m.CrashReport(nil); rep != nil {
+		t.Fatalf("nil err report = %+v", rep)
+	}
+	if rep := m.CrashReport(errors.New("plain")); rep != nil {
+		t.Fatalf("plain err report = %+v", rep)
+	}
+}

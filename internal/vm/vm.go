@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/gmem"
 	"repro/internal/guest"
@@ -222,6 +223,16 @@ type Machine struct {
 	// slices that expired with the thread still runnable.
 	Slices      uint64
 	Preemptions uint64
+	// GuestFaults / HostPanics / WatchdogTrips count contained failures
+	// (see crash.go); captured into the obs metrics registry.
+	GuestFaults   uint64
+	HostPanics    uint64
+	WatchdogTrips uint64
+
+	// Perturb, when set, is consulted once per timeslice; returning true
+	// shrinks that slice to a single block (deterministic scheduler
+	// perturbation, used by fault injection).
+	Perturb func() bool
 
 	// ExtraFootprint lets tools add their shadow-structure size to the
 	// reported memory usage.
@@ -243,6 +254,10 @@ type Config struct {
 	TLSBlockSize uint64
 	// Stdout receives guest output (default: discard).
 	Stdout io.Writer
+	// LenientMem restores the historical lenient memory model: guest
+	// accesses to unmapped addresses silently allocate pages instead of
+	// raising a GuestFault (the compatibility escape hatch).
+	LenientMem bool
 }
 
 // New creates a machine for a frozen image, loads text and data, and creates
@@ -297,6 +312,13 @@ func New(im *guest.Image, reg *HostRegistry, cfg Config) (*Machine, error) {
 		m.decoded[i] = guest.Decode(w)
 	}
 	m.Mem.WriteBytes(guest.DataBase, im.Data)
+	// Wire the permission map from the image: text is read-only, data is
+	// read-write. Heap/pool allocations, TLS blocks and stacks are mapped
+	// by the allocators and NewThread; everything else is unmapped, so a
+	// wild pointer raises a GuestFault instead of silently allocating.
+	m.Mem.Map(guest.TextBase, uint64(len(im.Text))*guest.InstrBytes, gmem.PermR)
+	m.Mem.Map(guest.DataBase, uint64(len(im.Data)), gmem.PermRW)
+	m.Mem.Strict = !cfg.LenientMem
 	m.Eng = &DirectEngine{}
 	// Main thread.
 	m.NewThread(im.Entry, 0)
@@ -375,6 +397,10 @@ func (m *Machine) NewThread(entry, arg uint64) *Thread {
 	t.TLSBase = m.nextTLS
 	m.nextTLS += m.tlsBlockSize
 	t.TLSGen = 1
+	// Map the stack and TLS block; the guard gap below the stack stays
+	// unmapped, so stack overflow faults instead of corrupting a neighbour.
+	m.Mem.Map(t.StackLo, guest.StackSize, gmem.PermRW)
+	m.Mem.Map(t.TLSBase, m.tlsBlockSize, gmem.PermRW)
 
 	t.PC = entry
 	t.Regs[guest.R0] = arg
@@ -411,31 +437,57 @@ func (m *Machine) rand() uint64 {
 	return x * 2685821657736338717
 }
 
-// ErrDeadlock is returned by Run when no thread can make progress.
+// ErrDeadlock is returned by Run when no thread can make progress. The
+// concrete error is a *DeadlockError carrying per-thread dumps;
+// errors.Is(err, ErrDeadlock) matches it.
 var ErrDeadlock = errors.New("vm: deadlock: no runnable threads")
 
-// MaxBlocks bounds a Run; 0 means unlimited.
+// RunOpts bounds a Run. Zero values mean unlimited: the watchdog only bites
+// where a budget is set.
 type RunOpts struct {
+	// MaxBlocks bounds the total number of executed basic blocks.
 	MaxBlocks uint64
+	// MaxInstrs bounds the total number of executed guest instructions.
+	MaxInstrs uint64
+	// Timeout bounds host wall-clock time (checked once per timeslice, so
+	// enabling it costs nothing on the block dispatch path). Unlike the
+	// deterministic budgets, where it trips depends on host speed.
+	Timeout time.Duration
 }
 
 // Run drives the scheduler until the program exits, deadlocks, or the block
 // budget is exhausted.
 func (m *Machine) Run() error { return m.RunOpts(RunOpts{}) }
 
+// watchdog builds the budget-exhausted error with a full thread dump.
+func (m *Machine) watchdog(kind string, limit uint64) error {
+	m.WatchdogTrips++
+	return &WatchdogError{Kind: kind, Limit: limit, Threads: m.DumpThreads()}
+}
+
 // RunOpts runs with options.
 func (m *Machine) RunOpts(opts RunOpts) error {
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 	var cur *Thread
 	for !m.exited {
 		if opts.MaxBlocks > 0 && m.BlocksExecuted >= opts.MaxBlocks {
-			return fmt.Errorf("vm: block budget (%d) exhausted", opts.MaxBlocks)
+			return m.watchdog("blocks", opts.MaxBlocks)
+		}
+		if opts.MaxInstrs > 0 && m.InstrsExecuted >= opts.MaxInstrs {
+			return m.watchdog("instrs", opts.MaxInstrs)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return m.watchdog("wall", uint64(opts.Timeout))
 		}
 		t := m.pick()
 		if t == nil {
 			if m.allExited() {
 				return nil
 			}
-			return fmt.Errorf("%w%s", ErrDeadlock, m.blockedSummary())
+			return &DeadlockError{Threads: m.DumpThreads(), summary: m.blockedSummary()}
 		}
 		if t != cur {
 			m.Switches++
@@ -448,8 +500,12 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 			}
 		}
 		m.Slices++
+		slice := m.slice
+		if m.Perturb != nil && m.Perturb() {
+			slice = 1
+		}
 		voluntary := false
-		for i := 0; i < m.slice && t.State == ThreadRunnable && !m.exited; i++ {
+		for i := 0; i < slice && t.State == ThreadRunnable && !m.exited; i++ {
 			if h := m.Obs; h != nil {
 				h.Prof.Sample(t.PC)
 				if h.Tracer != nil && h.Tracer.BlockEvents {
@@ -457,8 +513,14 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 						map[string]any{"pc": t.PC})
 				}
 			}
-			res, err := m.Eng.RunBlock(m, t)
+			res, err := m.runBlockGuarded(t)
 			if err != nil {
+				var gf *GuestFault
+				var hp *HostPanic
+				if errors.As(err, &gf) || errors.As(err, &hp) {
+					// Already carries thread/pc context.
+					return err
+				}
 				return fmt.Errorf("vm: thread %d at 0x%x: %w", t.ID, t.PC, err)
 			}
 			m.BlocksExecuted++
@@ -466,10 +528,10 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 			switch res {
 			case RunOK:
 			case RunBlocked, RunThreadExited, RunProgramExited:
-				i = m.slice
+				i = slice
 			case RunYield:
 				voluntary = true
-				i = m.slice
+				i = slice
 			}
 		}
 		if !voluntary && t.State == ThreadRunnable && !m.exited {
