@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-obs fuzz clean
+.PHONY: check vet build test race bench-obs bench-perf bench-perf-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector, the fuzzer smoke
-# run, and the observability benchmark smoke run (writes BENCH_obs.json).
-check: vet build race fuzz bench-obs
+# run, and both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke does
+# not overwrite the recorded BENCH_perf.json).
+check: vet build race fuzz bench-obs bench-perf-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +31,16 @@ fuzz:
 bench-obs:
 	OBS_BENCH_OUT=BENCH_obs.json $(GO) test -run '^$$' -bench 'BenchmarkObservability' -benchtime 1x .
 
+# Engine comparison on the Table I suite (IR interpreter vs compiled
+# micro-op engine, with and without superblock extension); writes the
+# arms and speedups to BENCH_perf.json. Longer -benchtime accumulates more
+# samples and tightens the numbers.
+bench-perf:
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines' -benchtime 10x .
+
+# Smoke run for the gate: exercises all three arms once, no JSON output.
+bench-perf-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines' -benchtime 1x .
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_perf.json

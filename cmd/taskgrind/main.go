@@ -40,6 +40,8 @@ func main() {
 		prog    = flag.String("prog", "task.c", "program to run (-list to enumerate)")
 		asmFile = flag.String("asm", "", "assemble and run a guest .s file instead of -prog")
 		tool    = flag.String("tool", "taskgrind", fmt.Sprintf("analysis tool %v", toolreg.Names()))
+		engine  = flag.String("engine", "", "execution engine: compiled (micro-ops + block chaining), ir (reference interpreter), \"\" = default")
+		extend  = flag.Int("extend", 0, "superblock extension budget in guest instructions (0 = single basic blocks; changes scheduling granularity)")
 		threads = flag.Int("threads", 4, "OMP_NUM_THREADS")
 		seed    = flag.Uint64("seed", 1, "scheduler seed")
 		list    = flag.Bool("list", false, "list available programs")
@@ -144,6 +146,8 @@ func main() {
 		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout, Obs: hooks,
 		Inject:     injector,
 		LenientMem: *lenientMem,
+		Engine:     *engine,
+		Extend:     *extend,
 		RunOpts:    vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
 	})
 	if err != nil {

@@ -1,0 +1,70 @@
+package dbi_test
+
+import (
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// buildSelfLoop builds a block that loads, stores and jumps back to itself:
+// one RunBlock call executes exactly one block and leaves the thread parked
+// on the same block, which makes per-dispatch allocation measurable.
+func buildSelfLoop(t testing.TB) (*guest.Image, uint64) {
+	t.Helper()
+	b := gbuild.New()
+	arr := b.Global("arr", 64)
+	f := b.Func("main", "loop.c")
+	head := f.NewLabel()
+	f.Bind(head)
+	f.Ld(8, guest.R2, guest.R6, 0)
+	f.Addi(guest.R2, guest.R2, 1)
+	f.St(8, guest.R6, 0, guest.R2)
+	f.Jmp(head)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, arr
+}
+
+// engineAllocs measures steady-state heap allocations per dispatched block.
+func engineAllocs(t *testing.T, engine string) float64 {
+	t.Helper()
+	im, arr := buildSelfLoop(t)
+	m, err := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := dbi.New(m, &countTool{})
+	if err := core.SelectEngine(engine); err != nil {
+		t.Fatal(err)
+	}
+	th := m.Threads()[0]
+	th.Regs[guest.R6] = arr
+	// Prime: translate, compile and chain the loop block.
+	for i := 0; i < 8; i++ {
+		if _, err := m.Eng.RunBlock(m, th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		if _, err := m.Eng.RunBlock(m, th); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRunBlockDoesNotAllocate is the allocs/op guard: the hot dispatch path
+// of both engines must stay allocation-free in steady state (instrumented
+// block with a load, a store, two dirty calls and a chained jump). A
+// regression here is the paper's 100x overhead quietly getting worse.
+func TestRunBlockDoesNotAllocate(t *testing.T) {
+	for _, engine := range []string{dbi.EngineIR, dbi.EngineCompiled} {
+		if n := engineAllocs(t, engine); n != 0 {
+			t.Errorf("%s engine: %.1f allocs per block, want 0", engine, n)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 package dbi
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/guest"
 	"repro/internal/obs"
@@ -73,10 +75,54 @@ type Core struct {
 	tool Tool
 
 	cache map[uint64]*vex.SuperBlock
+	// ccache is the compiled-translation cache (micro-op code plus
+	// chaining metadata), used by the compiled engine.
+	ccache map[uint64]*centry
+	// cdisp is the fast dispatch table: a dense array indexed by
+	// guest-PC/instruction-size mirroring ccache, the analog of Valgrind's
+	// direct-mapped VG_(tt_fast). The compiled engine probes it before the
+	// map; guest text is small and dense, so virtually every warm dispatch
+	// is an indexed load instead of a map lookup. Entries are verified
+	// against the block's GuestAddr (unaligned PCs alias slots).
+	cdisp []*centry
+	// cacheGen is the cache generation; ClearCache bumps it, invalidating
+	// every chained successor pointer and dispatch prediction at once.
+	cacheGen uint64
+	// engineFixed is set when a CompileTimeTool installed the direct
+	// engine with access hooks; SelectEngine then refuses to override.
+	engineFixed bool
+
+	// ExtendBudget, when positive, enables superblock extension: the
+	// translator follows unconditional direct jumps and keeps decoding
+	// until the block holds ExtendBudget guest instructions (Valgrind's
+	// multi-block superblock granularity). Zero keeps single basic
+	// blocks. Set before the first translation; both engines execute
+	// extended blocks identically.
+	ExtendBudget int
+
 	// Translations counts distinct blocks translated (== cache misses).
 	Translations uint64
-	// CacheHits counts translation-cache hits.
+	// TranslateNanos accumulates wall time spent in the translation
+	// pipeline (decode, optimize, instrument) and CompileNanos the time
+	// lowering instrumented IR to micro-ops. Together they are the
+	// non-execution share of a run's wall clock; the perf benchmark
+	// subtracts them to report pure execution throughput.
+	TranslateNanos uint64
+	CompileNanos   uint64
+	// CacheHits counts dispatches served from a translation cache (the
+	// superblock cache under the IR engine, the compiled cache or a chain
+	// hit under the compiled engine).
 	CacheHits uint64
+	// Compiles counts superblocks lowered to micro-ops.
+	Compiles uint64
+	// ChainHits counts dispatches that bypassed translation-cache lookup
+	// entirely through a chained successor pointer; ChainMisses counts
+	// dispatches that had to look the block up (via the fast dispatch
+	// table or the map: first visits and unchainable edges).
+	ChainHits, ChainMisses uint64
+	// ExtendSeams counts unconditional jumps fused away by superblock
+	// extension.
+	ExtendSeams uint64
 	// cacheStmts counts IR statements held in the translation cache.
 	cacheStmts uint64
 
@@ -120,17 +166,22 @@ type CompileTimeTool interface {
 // while keeping Core facilities available. Threads that already exist (the
 // main thread) get their ThreadStart callback immediately.
 func New(m *vm.Machine, tool Tool) *Core {
-	c := &Core{M: m, tool: tool, cache: make(map[uint64]*vex.SuperBlock)}
+	c := &Core{
+		M: m, tool: tool,
+		cache:  make(map[uint64]*vex.SuperBlock),
+		ccache: make(map[uint64]*centry),
+	}
 	if tool != nil {
 		installed := false
 		if ct, ok := tool.(CompileTimeTool); ok {
 			if load, store, filter := ct.AccessHooks(m.Image); load != nil || store != nil {
 				m.Eng = &vm.DirectEngine{LoadHook: load, StoreHook: store, Filter: filter}
 				installed = true
+				c.engineFixed = true
 			}
 		}
 		if !installed {
-			m.Eng = &irEngine{c: c}
+			m.Eng = &compiledEngine{c: c}
 		}
 		m.Hooks.ClientRequest = func(t *vm.Thread, code int32, args [6]uint64) uint64 {
 			c.observeCreq(t, code)
@@ -150,6 +201,55 @@ func New(m *vm.Machine, tool Tool) *Core {
 
 // Tool returns the loaded tool (nil when uninstrumented).
 func (c *Core) Tool() Tool { return c.tool }
+
+// Engine names accepted by SelectEngine.
+const (
+	// EngineCompiled executes pre-lowered micro-ops with block chaining
+	// (the default for instrumenting tools).
+	EngineCompiled = "compiled"
+	// EngineIR is the reference IR interpreter, kept as the differential-
+	// testing oracle for the compiled engine.
+	EngineIR = "ir"
+)
+
+// SelectEngine switches the execution engine. Call before the run starts.
+// Tools that fixed the engine themselves (compile-time instrumentation via
+// AccessHooks) cannot be overridden.
+func (c *Core) SelectEngine(name string) error {
+	if c.engineFixed {
+		return fmt.Errorf("dbi: tool %s uses compile-time instrumentation; engine fixed", c.tool.Name())
+	}
+	switch name {
+	case "", EngineCompiled:
+		c.M.Eng = &compiledEngine{c: c}
+	case EngineIR:
+		c.M.Eng = &irEngine{c: c}
+	default:
+		return fmt.Errorf("dbi: unknown engine %q (have %q, %q)", name, EngineCompiled, EngineIR)
+	}
+	return nil
+}
+
+// ClearCache drops every translation — IR and compiled — and bumps the
+// cache generation, which atomically invalidates all chained successor
+// pointers and per-thread dispatch predictions. The next dispatch of every
+// block retranslates (and re-instruments) it.
+func (c *Core) ClearCache() {
+	c.cache = make(map[uint64]*vex.SuperBlock)
+	c.ccache = make(map[uint64]*centry)
+	for i := range c.cdisp {
+		c.cdisp[i] = nil
+	}
+	c.cacheGen++
+	c.cacheStmts = 0
+	if h := c.Obs; h != nil && h.Tracer != nil {
+		h.Tracer.Instant(c.M.BlocksExecuted, -1, "dbi", "cache-clear",
+			map[string]any{"gen": c.cacheGen})
+	}
+}
+
+// CacheGen returns the current cache generation (bumped by ClearCache).
+func (c *Core) CacheGen() uint64 { return c.cacheGen }
 
 // SetObs attaches observability hooks to the core (and its machine) and
 // pre-resolves the hot-path metrics, so translation and client-request
@@ -263,10 +363,12 @@ func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 		c.Obs.Tracer.Begin(c.M.BlocksExecuted, tid, "dbi", "translate",
 			map[string]any{"addr": addr})
 	}
-	sb, err := Translate(c.M.Image, addr)
+	start := time.Now()
+	sb, seams, err := TranslateExt(c.M.Image, addr, c.ExtendBudget)
 	if err != nil {
 		return nil, err
 	}
+	c.ExtendSeams += uint64(seams)
 	if !c.NoOptimize {
 		// The VEX optimization pass: tools instrument cleaned-up IR,
 		// exactly like Valgrind plugins do.
@@ -280,6 +382,7 @@ func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 			}
 		}
 	}
+	c.TranslateNanos += uint64(time.Since(start))
 	c.cache[addr] = sb
 	c.Translations++
 	c.cacheStmts += uint64(len(sb.Stmts))
@@ -290,6 +393,59 @@ func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 	}
 	return sb, nil
 }
+
+// compiled produces the micro-op translation for the block at addr,
+// consulting the compiled cache first. Cache misses run the full pipeline —
+// translate, optimize, instrument — and then lower the instrumented IR to
+// micro-ops once; every later dispatch executes the pre-resolved form.
+func (c *Core) compiled(addr uint64, tid int) (*centry, error) {
+	if ent, ok := c.ccache[addr]; ok {
+		c.CacheHits++
+		return ent, nil
+	}
+	start := time.Now()
+	tn := c.TranslateNanos
+	sb, err := c.translate(addr, tid)
+	if err != nil {
+		return nil, err
+	}
+	code, err := vex.Compile(sb)
+	if err != nil {
+		return nil, err
+	}
+	ent := &centry{code: code, gen: c.cacheGen, chains: make([]*centry, code.NChains)}
+	c.ccache[addr] = ent
+	if idx := addr / guest.InstrBytes; addr%guest.InstrBytes == 0 {
+		if idx >= uint64(len(c.cdisp)) {
+			nd := make([]*centry, idx+idx/2+64)
+			copy(nd, c.cdisp)
+			c.cdisp = nd
+		}
+		c.cdisp[idx] = ent
+	}
+	c.Compiles++
+	// Whatever part of this cold dispatch was not translation — lowering,
+	// the cache entry, the map insert — is compile cost.
+	c.CompileNanos += uint64(time.Since(start)) - (c.TranslateNanos - tn)
+	return ent, nil
+}
+
+// CachedBlocks returns the guest addresses of every cached translation in
+// sorted order — the benchmark harness replays them to measure hot block
+// throughput on real translated code.
+func (c *Core) CachedBlocks() []uint64 {
+	out := make([]uint64, 0, len(c.cache))
+	for a := range c.cache {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BlockIR returns the cached instrumented IR for the block at addr, or nil
+// if the block has not been translated. Introspection only — callers must
+// not mutate the block.
+func (c *Core) BlockIR(addr uint64) *vex.SuperBlock { return c.cache[addr] }
 
 // CacheFootprint approximates the memory held by the translation cache —
 // instrumented IR is a real part of a DBI tool's footprint.

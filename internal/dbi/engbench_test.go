@@ -1,0 +1,66 @@
+package dbi_test
+
+import (
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// buildHotLoop: a self-looping block with a realistic instruction mix:
+// loads, stores, ALU, a compare+branch back to itself.
+func buildHotLoop(t testing.TB) (*guest.Image, uint64) {
+	t.Helper()
+	b := gbuild.New()
+	arr := b.Global("arr", 64)
+	f := b.Func("main", "hot.c")
+	head := f.NewLabel()
+	f.Bind(head)
+	f.Ld(8, guest.R2, guest.R6, 0)
+	f.Ld(8, guest.R3, guest.R6, 8)
+	f.Add(guest.R2, guest.R2, guest.R3)
+	f.Addi(guest.R2, guest.R2, 1)
+	f.ALU(guest.OpXor, guest.R3, guest.R3, guest.R2)
+	f.St(8, guest.R6, 0, guest.R2)
+	f.St(8, guest.R6, 8, guest.R3)
+	f.Jmp(head)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, arr
+}
+
+func BenchmarkEngineOnly(b *testing.B) {
+	for _, engine := range []string{dbi.EngineIR, dbi.EngineCompiled} {
+		b.Run(engine, func(b *testing.B) {
+			im, arr := buildHotLoop(b)
+			m, err := vm.New(im, vm.NewHostRegistry(), vm.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			core := dbi.New(m, dbi.NopTool{})
+			if err := core.SelectEngine(engine); err != nil {
+				b.Fatal(err)
+			}
+			th := m.Threads()[0]
+			th.Regs[guest.R6] = arr
+			for i := 0; i < 8; i++ {
+				if _, err := m.Eng.RunBlock(m, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := m.InstrsExecuted
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Eng.RunBlock(m, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(m.InstrsExecuted-start)/b.Elapsed().Seconds(), "instrs/sec")
+		})
+	}
+}

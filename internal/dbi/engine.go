@@ -3,9 +3,26 @@ package dbi
 import (
 	"fmt"
 
+	"repro/internal/guest"
 	"repro/internal/vex"
 	"repro/internal/vm"
 )
+
+// evalExpr evaluates a VEX expression against the block's temp arena and the
+// thread's registers. A package-level function (rather than a closure inside
+// RunBlock) so the hot path stays allocation-free: the closure form forced a
+// heap allocation on every dispatched block.
+func evalExpr(x vex.Expr, tmps []uint64, regs *[guest.NumRegs]uint64) uint64 {
+	switch x.Kind {
+	case vex.KindConst:
+		return x.Const
+	case vex.KindRdTmp:
+		return tmps[x.Tmp]
+	case vex.KindGetReg:
+		return regs[x.Reg]
+	}
+	panic("dbi: bad expr kind")
+}
 
 // irEngine is the heavyweight execution engine: every block runs through
 // translated (and tool-instrumented) IR. This is intrinsically slower than
@@ -43,17 +60,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 		}
 	}()
 
-	eval := func(x vex.Expr) uint64 {
-		switch x.Kind {
-		case vex.KindConst:
-			return x.Const
-		case vex.KindRdTmp:
-			return tmps[x.Tmp]
-		case vex.KindGetReg:
-			return t.Regs[x.Reg]
-		}
-		panic("dbi: bad expr kind")
-	}
+	regs := &t.Regs
 
 	for i := range sb.Stmts {
 		s := &sb.Stmts[i]
@@ -63,19 +70,19 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 			m.InstrsExecuted++
 			t.InstrsExecuted++
 		case vex.SWrTmpExpr:
-			tmps[s.Tmp] = eval(s.E1)
+			tmps[s.Tmp] = evalExpr(s.E1, tmps, regs)
 		case vex.SWrTmpBinop:
-			tmps[s.Tmp] = vex.EvalBinop(s.Op, eval(s.E1), eval(s.E2))
+			tmps[s.Tmp] = vex.EvalBinop(s.Op, evalExpr(s.E1, tmps, regs), evalExpr(s.E2, tmps, regs))
 		case vex.SWrTmpUnop:
-			tmps[s.Tmp] = vex.EvalUnop(s.Op, eval(s.E1))
+			tmps[s.Tmp] = vex.EvalUnop(s.Op, evalExpr(s.E1, tmps, regs))
 		case vex.SWrTmpLoad:
-			tmps[s.Tmp] = m.Mem.Load(eval(s.E1), uint8(s.Wd))
+			tmps[s.Tmp] = m.Mem.Load(evalExpr(s.E1, tmps, regs), uint8(s.Wd))
 		case vex.SStore:
-			m.Mem.Store(eval(s.E1), uint8(s.Wd), eval(s.E2))
+			m.Mem.Store(evalExpr(s.E1, tmps, regs), uint8(s.Wd), evalExpr(s.E2, tmps, regs))
 		case vex.SPutReg:
-			t.Regs[s.Reg] = eval(s.E1)
+			t.Regs[s.Reg] = evalExpr(s.E1, tmps, regs)
 		case vex.SExit:
-			if eval(s.E1) != 0 {
+			if evalExpr(s.E1, tmps, regs) != 0 {
 				t.PC = s.Target
 				return vm.RunOK, nil
 			}
@@ -85,7 +92,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 			}
 			args := e.args[:len(s.Args)]
 			for j, a := range s.Args {
-				args[j] = eval(a)
+				args[j] = evalExpr(a, tmps, regs)
 			}
 			r := s.Fn(t, args)
 			if s.Tmp != vex.NoTemp {
@@ -96,7 +103,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 		}
 	}
 
-	next := eval(sb.Next)
+	next := evalExpr(sb.Next, tmps, regs)
 	switch sb.NextJK {
 	case vex.JKBoring:
 		t.PC = next

@@ -9,11 +9,15 @@ package gmem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 const (
-	pageShift = 16
-	// PageSize is the allocation granule (64 KiB).
+	pageShift = 12
+	// PageSize is the allocation granule (4 KiB, matching a host page).
+	// Smaller granules matter for throughput: pages are zero-initialized on
+	// first touch, so the granule bounds how much memclr + GC pressure a
+	// short-lived guest pays per resident page.
 	PageSize = 1 << pageShift
 	pageMask = PageSize - 1
 )
@@ -31,6 +35,12 @@ const (
 // ReadCString are host-privileged (loaders, debuggers) and never fault.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// lastPageIdx/lastPage cache the most recently touched page, bypassing
+	// the page-map lookup for the common run of same-page accesses. Pages
+	// are never deallocated, so the cache cannot go stale.
+	lastPageIdx uint64
+	lastPage    *[PageSize]byte
 
 	// Strict enables permission checking on guest accessors.
 	Strict bool
@@ -50,11 +60,21 @@ func New() *Memory {
 // page returns the page containing addr, allocating it on first touch.
 func (m *Memory) page(addr uint64) *[PageSize]byte {
 	idx := addr >> pageShift
+	if p := m.lastPage; p != nil && idx == m.lastPageIdx {
+		return p
+	}
+	return m.pageSlow(idx)
+}
+
+// pageSlow is the page-cache miss path: map lookup, first-touch allocation,
+// cache refill. Kept out of page so the hit path stays inlinable.
+func (m *Memory) pageSlow(idx uint64) *[PageSize]byte {
 	p := m.pages[idx]
 	if p == nil {
 		p = new([PageSize]byte)
 		m.pages[idx] = p
 	}
+	m.lastPageIdx, m.lastPage = idx, p
 	return p
 }
 
@@ -71,7 +91,9 @@ func (m *Memory) ResidentPages() int { return len(m.pages) }
 // zero-extended to 64 bits. In strict mode an unmapped or read-protected
 // access raises a *Fault.
 func (m *Memory) Load(addr uint64, width uint8) uint64 {
-	m.check(addr, width, AccessRead)
+	if m.Strict {
+		m.check(addr, width, AccessRead)
+	}
 	off := addr & pageMask
 	if off+uint64(width) <= PageSize {
 		p := m.page(addr)
@@ -98,7 +120,9 @@ func (m *Memory) Load(addr uint64, width uint8) uint64 {
 // Store writes a little-endian value of the given width. In strict mode an
 // unmapped or write-protected access raises a *Fault.
 func (m *Memory) Store(addr uint64, width uint8, val uint64) {
-	m.check(addr, width, AccessWrite)
+	if m.Strict {
+		m.check(addr, width, AccessWrite)
+	}
 	off := addr & pageMask
 	if off+uint64(width) <= PageSize {
 		p := m.page(addr)
@@ -147,7 +171,7 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 // ReadCString reads a NUL-terminated guest string (capped at 64 KiB).
 func (m *Memory) ReadCString(addr uint64) string {
 	var out []byte
-	for i := 0; i < PageSize; i++ {
+	for i := 0; i < 1<<16; i++ {
 		b := byte(m.Load(addr+uint64(i), 1))
 		if b == 0 {
 			break
@@ -171,6 +195,46 @@ func (m *Memory) Zero(addr uint64, n uint64) {
 		}
 		i += span
 	}
+}
+
+// Hash returns a content digest of the address space: FNV-1a over every
+// resident page's index and bytes, visiting pages in address order and
+// skipping all-zero pages (an untouched page and a zeroed one digest the
+// same, so the hash reflects content, not allocation history). Intended for
+// differential testing: two runs with identical guest-visible memory hash
+// equal.
+func (m *Memory) Hash() uint64 {
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ uint64(byte(idx>>shift))) * prime64
+		}
+		for _, b := range p {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
 }
 
 // Copy moves n bytes from src to dst (handles overlap like memmove).

@@ -230,12 +230,9 @@ func (m *Memory) CheckRange(addr, n uint64, acc Access) *Fault {
 	}
 }
 
-// check raises a fault (panic with *Fault) for a violating guest access when
-// strict mode is on. The VM recovers the panic at the block boundary.
+// check raises a fault (panic with *Fault) for a violating guest access.
+// Callers gate on m.Strict themselves so the lenient path pays no call.
 func (m *Memory) check(addr uint64, width uint8, acc Access) {
-	if !m.Strict {
-		return
-	}
 	if f := m.CheckRange(addr, uint64(width), acc); f != nil {
 		f.Width = width
 		panic(f)

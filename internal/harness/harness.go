@@ -51,6 +51,15 @@ type Setup struct {
 	// LenientMem restores the pre-fault-model memory semantics (wild guest
 	// accesses silently allocate instead of raising a GuestFault).
 	LenientMem bool
+	// Engine selects the DBI execution engine: dbi.EngineCompiled (micro-op
+	// translations with block chaining), dbi.EngineIR (the reference IR
+	// interpreter), or "" to keep the default for the tool.
+	Engine string
+	// Extend, when positive, enables superblock extension: translations
+	// follow unconditional jumps up to Extend guest instructions. It changes
+	// block granularity — and therefore scheduler interleavings — so leave
+	// it zero when reproducing seeded schedules.
+	Extend int
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
@@ -91,6 +100,12 @@ func New(s Setup) (*Instance, error) {
 	inst.M = m
 	inst.RunOpts = s.RunOpts
 	inst.Core = dbi.New(m, s.Tool)
+	inst.Core.ExtendBudget = s.Extend
+	if s.Engine != "" {
+		if err := inst.Core.SelectEngine(s.Engine); err != nil {
+			return nil, err
+		}
+	}
 	inst.Lib.Bind(inst.Core)
 	inst.OMP.Attach(m)
 	if in := s.Inject; in != nil && in.Enabled() {
@@ -146,6 +161,10 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("dbi_cache_misses_total").Set(c.Translations)
 	reg.Counter("dbi_cache_stmts").Set(c.CacheStmts())
 	reg.Gauge("dbi_cache_footprint_bytes").Set(float64(c.CacheFootprint()))
+	reg.Counter("dbi_compiles_total").Set(c.Compiles)
+	reg.Counter("dbi_chain_hits_total").Set(c.ChainHits)
+	reg.Counter("dbi_chain_misses_total").Set(c.ChainMisses)
+	reg.Counter("dbi_extend_seams_total").Set(c.ExtendSeams)
 
 	reg.Counter("vm_guest_faults_total").Set(m.GuestFaults)
 	reg.Counter("vm_host_panics_total").Set(m.HostPanics)

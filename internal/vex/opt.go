@@ -8,25 +8,37 @@ package vex
 //
 // Only pure statements are touched: loads, stores, register writes, exits
 // and dirty calls keep their order and side effects.
+//
+// Optimize runs once per translation, on the hot path of every cold block
+// dispatch, so its working state is flat slices indexed by temp number
+// rather than maps, and the output statement list is sized up front.
 func Optimize(sb *SuperBlock) *SuperBlock {
 	out := &SuperBlock{
 		GuestAddr: sb.GuestAddr,
 		NTemps:    sb.NTemps,
 		NextJK:    sb.NextJK,
 		Aux:       sb.Aux,
+		Stmts:     make([]Stmt, 0, len(sb.Stmts)),
 	}
-	// known maps temporaries to constant values; alias maps temporaries
-	// to other expressions that may replace them (constants or temps).
-	known := make(map[Temp]uint64)
-	alias := make(map[Temp]Expr)
+	// Per-temp substitution state: a known constant value, or an aliased
+	// expression (another temp or a register read) that may replace reads
+	// of the temp.
+	type tstate struct {
+		hasKnown bool
+		hasAlias bool
+		known    uint64
+		alias    Expr
+	}
+	ts := make([]tstate, sb.NTemps)
 
 	subst := func(e Expr) Expr {
-		if e.Kind == KindRdTmp {
-			if v, ok := known[e.Tmp]; ok {
-				return ConstE(v)
+		if e.Kind == KindRdTmp && uint32(e.Tmp) < uint32(len(ts)) {
+			s := &ts[e.Tmp]
+			if s.hasKnown {
+				return ConstE(s.known)
 			}
-			if a, ok := alias[e.Tmp]; ok {
-				return a
+			if s.hasAlias {
+				return s.alias
 			}
 		}
 		return e
@@ -40,7 +52,7 @@ func Optimize(sb *SuperBlock) *SuperBlock {
 			e := subst(s.E1)
 			switch e.Kind {
 			case KindConst:
-				known[s.Tmp] = e.Const
+				ts[s.Tmp] = tstate{hasKnown: true, known: e.Const}
 				// Keep the statement for now; DCE drops it if the
 				// temp has no remaining readers (e.g. a Dirty arg
 				// still wants it by name after substitution? no —
@@ -51,14 +63,14 @@ func Optimize(sb *SuperBlock) *SuperBlock {
 				// Copy propagation. GetReg aliasing is only safe
 				// until the register is rewritten; track and
 				// invalidate below on PutReg.
-				alias[s.Tmp] = e
+				ts[s.Tmp] = tstate{hasAlias: true, alias: e}
 				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: e})
 			}
 		case SWrTmpBinop:
 			a, b := subst(s.E1), subst(s.E2)
 			if a.Kind == KindConst && b.Kind == KindConst {
 				v := EvalBinop(s.Op, a.Const, b.Const)
-				known[s.Tmp] = v
+				ts[s.Tmp] = tstate{hasKnown: true, known: v}
 				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: ConstE(v)})
 				continue
 			}
@@ -67,7 +79,7 @@ func Optimize(sb *SuperBlock) *SuperBlock {
 			a := subst(s.E1)
 			if a.Kind == KindConst {
 				v := EvalUnop(s.Op, a.Const)
-				known[s.Tmp] = v
+				ts[s.Tmp] = tstate{hasKnown: true, known: v}
 				out.Append(Stmt{Kind: SWrTmpExpr, Tmp: s.Tmp, E1: ConstE(v)})
 				continue
 			}
@@ -78,9 +90,9 @@ func Optimize(sb *SuperBlock) *SuperBlock {
 			out.Append(Stmt{Kind: SStore, Wd: s.Wd, E1: subst(s.E1), E2: subst(s.E2)})
 		case SPutReg:
 			// Invalidate GetReg aliases of this register.
-			for t, a := range alias {
-				if a.Kind == KindGetReg && a.Reg == s.Reg {
-					delete(alias, t)
+			for i := range ts {
+				if ts[i].hasAlias && ts[i].alias.Kind == KindGetReg && ts[i].alias.Reg == s.Reg {
+					ts[i].hasAlias = false
 				}
 			}
 			out.Append(Stmt{Kind: SPutReg, Reg: s.Reg, E1: subst(s.E1)})
@@ -99,13 +111,15 @@ func Optimize(sb *SuperBlock) *SuperBlock {
 		}
 	}
 	out.Next = subst(sb.Next)
-	return deadTempElim(out)
+	deadTempElim(out)
+	return out
 }
 
-// deadTempElim removes pure WrTmp statements whose temporary is never read.
-// Substitution has already rewritten every reader, so a temp that fed only
-// folded expressions has no uses left.
-func deadTempElim(sb *SuperBlock) *SuperBlock {
+// deadTempElim removes pure WrTmp statements whose temporary is never read,
+// filtering sb.Stmts in place (the caller owns the block). Substitution has
+// already rewritten every reader, so a temp that fed only folded expressions
+// has no uses left.
+func deadTempElim(sb *SuperBlock) {
 	used := make([]bool, sb.NTemps)
 	mark := func(e Expr) {
 		if e.Kind == KindRdTmp {
@@ -128,10 +142,7 @@ func deadTempElim(sb *SuperBlock) *SuperBlock {
 		}
 	}
 	mark(sb.Next)
-	out := &SuperBlock{
-		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
-		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
-	}
+	kept := sb.Stmts[:0]
 	for _, s := range sb.Stmts {
 		switch s.Kind {
 		case SWrTmpExpr, SWrTmpBinop, SWrTmpUnop:
@@ -142,7 +153,7 @@ func deadTempElim(sb *SuperBlock) *SuperBlock {
 				continue
 			}
 		}
-		out.Append(s)
+		kept = append(kept, s)
 	}
-	return out
+	sb.Stmts = kept
 }

@@ -271,6 +271,8 @@ func (m *Machine) runBlockGuarded(t *Thread) (res RunResult, err error) {
 		if ep, ok := r.(*EnginePanic); ok {
 			pc = ep.PC
 			r = ep.Val
+		} else if fl, ok := m.Eng.(FaultLocator); ok {
+			pc = fl.FaultPoint(m, t)
 		}
 		if f, ok := r.(*gmem.Fault); ok {
 			m.GuestFaults++

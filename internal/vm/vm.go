@@ -174,6 +174,18 @@ type Engine interface {
 	RunBlock(m *Machine, t *Thread) (RunResult, error)
 }
 
+// FaultLocator is implemented by engines that track their fault-attribution
+// state out of band instead of wrapping every RunBlock in a recover. When a
+// panic unwinds out of RunBlock un-annotated, the machine's containment
+// boundary calls FaultPoint to learn the guest PC of the faulting
+// instruction; the engine also settles any instruction-count bookkeeping the
+// unwind skipped (so counters show exactly the instructions that retired
+// before the fault). Keeping the recover at the machine level — which
+// already has one — lets the hot block dispatch run defer-free.
+type FaultLocator interface {
+	FaultPoint(m *Machine, t *Thread) uint64
+}
+
 // Hooks are optional callbacks the machine raises; the DBI core and tools
 // attach here.
 type Hooks struct {
