@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-obs bench-perf bench-perf-smoke fuzz clean
+.PHONY: check vet build test race race-batch bench-obs bench-perf bench-perf-smoke perf-guard fuzz clean
 
-# The full gate: vet, build, tests under the race detector, the fuzzer smoke
-# run, and both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke does
-# not overwrite the recorded BENCH_perf.json).
-check: vet build race fuzz bench-obs bench-perf-smoke
+# The full gate: vet, build, tests under the race detector (including the
+# focused batched-delivery pass), the fuzzer smoke run, both benchmark smoke
+# runs (BENCH_obs.json; bench-perf-smoke does not overwrite the recorded
+# BENCH_perf.json), and the hot-path regression guard against the recorded
+# baseline.
+check: vet build race race-batch fuzz bench-obs bench-perf-smoke perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused -race pass over the batched-delivery surface: the delivery
+# differential suite, the delivery/scheduler allocation guards, the golden
+# reports, and the extend-profile agreement tests. Fresh run (-count=1) so
+# the gate never passes on a cached result.
+race-batch:
+	$(GO) test -race -count=1 -run 'TestDelivery|TestGoldenReports|TestProfileExtend|TestPick|TestSoleRunnable|TestSliceLoop' ./internal/dbi ./internal/vm ./internal/tools/golden
 
 # Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
 # and the instruction decoder. Go runs one -fuzz package at a time, hence two
@@ -32,15 +41,23 @@ bench-obs:
 	OBS_BENCH_OUT=BENCH_obs.json $(GO) test -run '^$$' -bench 'BenchmarkObservability' -benchtime 1x .
 
 # Engine comparison on the Table I suite (IR interpreter vs compiled
-# micro-op engine, with and without superblock extension); writes the
-# arms and speedups to BENCH_perf.json. Longer -benchtime accumulates more
-# samples and tightens the numbers.
+# micro-op engine, with and without superblock extension) plus the
+# tool-delivery comparison (per-event vs batched under memcheck); writes the
+# "engines" and "tool_delivery" sections of BENCH_perf.json. Longer
+# -benchtime accumulates more samples and tightens the numbers.
 bench-perf:
-	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines' -benchtime 10x .
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery' -benchtime 10x .
 
-# Smoke run for the gate: exercises all three arms once, no JSON output.
+# Smoke run for the gate: exercises every arm once, no JSON output.
 bench-perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery' -benchtime 1x .
+
+# Hot-path regression guard: re-measures the compiled engine's hot ns/block
+# and fails if it regressed >20% against the baseline recorded in
+# BENCH_perf.json by `make bench-perf` (best-of-3, so only a real slowdown
+# trips it).
+perf-guard:
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

@@ -305,8 +305,15 @@ func BenchmarkObservability(b *testing.B) {
 			b.Fatal(err)
 		}
 		tg := core.New(core.DefaultOptions())
+		// Slice 1000 approximates Valgrind's scheduling quantum (on the
+		// order of 100k basic blocks between forced thread switches) rather
+		// than the harness's interleaving-hunting default of 3. Combined
+		// with the scheduler's solo fast path, slice ends — and the budget /
+		// obs sampling gates that run at them — become rare events instead
+		// of per-handful-of-blocks overhead; preemptions per slice is one of
+		// the figures recorded in BENCH_obs.json.
 		res, inst, err := harness.BuildAndRun(bb, harness.Setup{
-			Tool: tg, Seed: 1, Threads: 4, Obs: hooks,
+			Tool: tg, Seed: 1, Threads: 4, Obs: hooks, Slice: 1000,
 		})
 		if err != nil || res.Err != nil {
 			b.Fatal(err, res.Err)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dbi"
 	"repro/internal/drb"
 	"repro/internal/faultinject"
 	"repro/internal/gasm"
@@ -37,17 +38,18 @@ import (
 
 func main() {
 	var (
-		prog    = flag.String("prog", "task.c", "program to run (-list to enumerate)")
-		asmFile = flag.String("asm", "", "assemble and run a guest .s file instead of -prog")
-		tool    = flag.String("tool", "taskgrind", fmt.Sprintf("analysis tool %v", toolreg.Names()))
-		engine  = flag.String("engine", "", "execution engine: compiled (micro-ops + block chaining), ir (reference interpreter), \"\" = default")
-		extend  = flag.Int("extend", 0, "superblock extension budget in guest instructions (0 = single basic blocks; changes scheduling granularity)")
-		threads = flag.Int("threads", 4, "OMP_NUM_THREADS")
-		seed    = flag.Uint64("seed", 1, "scheduler seed")
-		list    = flag.Bool("list", false, "list available programs")
-		verbose = flag.Bool("v", false, "print run statistics")
-		dotFile = flag.String("dot", "", "write the segment graph (Graphviz DOT) to this file (taskgrind tools only)")
-		gantt   = flag.Bool("trace", false, "print a task-schedule Gantt chart after the run")
+		prog     = flag.String("prog", "task.c", "program to run (-list to enumerate)")
+		asmFile  = flag.String("asm", "", "assemble and run a guest .s file instead of -prog")
+		tool     = flag.String("tool", "taskgrind", fmt.Sprintf("analysis tool %v", toolreg.Names()))
+		engine   = flag.String("engine", "", "execution engine: compiled (micro-ops + block chaining), ir (reference interpreter), \"\" = default")
+		delivery = flag.String("delivery", "batched", "tool access delivery: batched (one flush per superblock segment), per-event (one callback per access)")
+		extend   = flag.Int("extend", 0, "superblock extension budget in guest instructions (0 = single basic blocks; changes scheduling granularity)")
+		threads  = flag.Int("threads", 4, "OMP_NUM_THREADS")
+		seed     = flag.Uint64("seed", 1, "scheduler seed")
+		list     = flag.Bool("list", false, "list available programs")
+		verbose  = flag.Bool("v", false, "print run statistics")
+		dotFile  = flag.String("dot", "", "write the segment graph (Graphviz DOT) to this file (taskgrind tools only)")
+		gantt    = flag.Bool("trace", false, "print a task-schedule Gantt chart after the run")
 		// Observability outputs.
 		metricsFile  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event trace to this file (load in chrome://tracing or ui.perfetto.dev)")
@@ -141,6 +143,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	deliv, ok := dbi.ParseDelivery(*delivery)
+	if !ok {
+		fatal(fmt.Errorf("unknown -delivery %q (batched, per-event)", *delivery))
+	}
 	start := time.Now()
 	res, inst, err := harness.BuildAndRun(b, harness.Setup{
 		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout, Obs: hooks,
@@ -148,6 +154,7 @@ func main() {
 		LenientMem: *lenientMem,
 		Engine:     *engine,
 		Extend:     *extend,
+		Delivery:   deliv,
 		RunOpts:    vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
 	})
 	if err != nil {

@@ -363,8 +363,9 @@ func (tg *Taskgrind) symFiltered(sym string) bool {
 	return false
 }
 
-// Instrument implements dbi.Tool: inserts a Dirty helper before every load
-// and store that records the access into the current segment's trees.
+// Instrument implements dbi.Tool (IR-engine path): routes every load and
+// store through the core's access-delivery machinery, which batches the
+// records per superblock segment and hands them to FlushAccesses.
 func (tg *Taskgrind) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock {
 	symName := ""
 	if sym := c.M.Image.SymbolFor(sb.GuestAddr); sym != nil {
@@ -373,40 +374,19 @@ func (tg *Taskgrind) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock
 	if tg.symFiltered(symName) {
 		return sb
 	}
-	out := &vex.SuperBlock{
-		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
-		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
-	}
-	for _, s := range sb.Stmts {
-		switch s.Kind {
-		case vex.SWrTmpLoad:
-			tg.Stats.InstrumentedLoads++
-			out.Stmts = append(out.Stmts, vex.Stmt{
-				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "tg_load", Fn: tg.dirtyLoad,
-				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd))},
-			})
-		case vex.SStore:
-			tg.Stats.InstrumentedStores++
-			out.Stmts = append(out.Stmts, vex.Stmt{
-				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "tg_store", Fn: tg.dirtyStore,
-				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd))},
-			})
-		}
-		out.Stmts = append(out.Stmts, s)
-	}
+	out, loads, stores := c.InstrumentAccesses(sb, tg)
+	tg.Stats.InstrumentedLoads += loads
+	tg.Stats.InstrumentedStores += stores
 	return out
 }
 
-// dirtyLoad records a read access (IR-engine path).
-func (tg *Taskgrind) dirtyLoad(ctx any, args []uint64) uint64 {
-	tg.record(ctx.(*vm.Thread), args[0], uint8(args[1]), false)
-	return 0
-}
-
-// dirtyStore records a write access (IR-engine path).
-func (tg *Taskgrind) dirtyStore(ctx any, args []uint64) uint64 {
-	tg.record(ctx.(*vm.Thread), args[0], uint8(args[1]), true)
-	return 0
+// FlushAccesses implements dbi.AccessSink: record a batch of accesses into
+// the thread's current segment.
+func (tg *Taskgrind) FlushAccesses(t *vm.Thread, batch []dbi.Access) {
+	for i := range batch {
+		a := &batch[i]
+		tg.record(t, a.Addr, a.Wd, a.Store)
+	}
 }
 
 // skipAddr drops accesses compile-time-instrumented tools never see.

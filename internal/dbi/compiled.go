@@ -46,6 +46,13 @@ type compiledEngine struct {
 	args []uint64
 	// preds is indexed by thread ID.
 	preds []pred
+	// rets is the per-thread return-prediction stack (the analog of
+	// Valgrind chaining returns through the stack of return addresses in
+	// VG_(tt_fast)): every call pushes the predicted return target and, if
+	// already compiled, its translation; the matching return re-primes the
+	// dispatch prediction instead of dropping it. Mispredictions are
+	// harmless — the dispatcher re-verifies PC and generation.
+	rets [][]pred
 
 	// Fault-attribution state (see FaultPoint). RunBlock records the block
 	// being executed and the index of the op in flight before every
@@ -126,6 +133,9 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 		np := make([]pred, tid+1)
 		copy(np, e.preds)
 		e.preds = np
+		nr := make([][]pred, tid+1)
+		copy(nr, e.rets)
+		e.rets = nr
 	}
 	var ent *centry
 	if p := &e.preds[tid]; p.ent != nil && p.pc == t.PC && p.gen == c.cacheGen {
@@ -317,6 +327,7 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 					args[j] = regs[a.Idx]
 				}
 			}
+			c.DirtyCalls++
 			r := d.Fn(t, args)
 			if d.HasTmp {
 				tmps[d.Tmp] = r
@@ -355,6 +366,7 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 	case vex.JKCall:
 		t.PushFrame(next, code.LastPC)
 		t.PC = next
+		e.pushRet(tid, code.LastPC+guest.InstrBytes)
 		if code.NextChain != vex.NoChain {
 			e.chainTo(tid, ent, code.NextChain, next)
 		} else {
@@ -364,18 +376,29 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 	case vex.JKRet:
 		t.PopFrame()
 		t.PC = next
-		e.clearPred(tid)
+		e.popRet(tid, next)
 		if next == vm.ThreadExitAddr {
 			return m.ExitThread(t), nil
 		}
 		return vm.RunOK, nil
 	case vex.JKHostCall:
+		// Host calls usually return to the static successor (the call
+		// site's next instruction), so keep the chained prediction; hosts
+		// that redirect the PC just miss the (re-verified) prediction.
 		t.PC = next
-		e.clearPred(tid)
+		if code.NextChain != vex.NoChain {
+			e.chainTo(tid, ent, code.NextChain, next)
+		} else {
+			e.clearPred(tid)
+		}
 		return m.DoHostCall(t, code.Aux), nil
 	case vex.JKClientReq:
 		t.PC = next
-		e.clearPred(tid)
+		if code.NextChain != vex.NoChain {
+			e.chainTo(tid, ent, code.NextChain, next)
+		} else {
+			e.clearPred(tid)
+		}
 		m.DoClientRequest(t, code.Aux)
 		return vm.RunOK, nil
 	case vex.JKExitThread:
@@ -384,6 +407,54 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 		return m.ExitThread(t), nil
 	}
 	return vm.RunOK, fmt.Errorf("dbi: bad jump kind %v", code.NextJK)
+}
+
+// retStackCap bounds the per-thread return-prediction stack; recursion
+// deeper than this drops the stack (predictions are best-effort).
+const retStackCap = 64
+
+// probeDisp looks pc up in the fast dispatch table, returning its compiled
+// translation or nil.
+func (c *Core) probeDisp(pc uint64) *centry {
+	if idx := pc / guest.InstrBytes; pc%guest.InstrBytes == 0 && idx < uint64(len(c.cdisp)) &&
+		c.cdisp[idx] != nil && c.cdisp[idx].code.GuestAddr == pc {
+		return c.cdisp[idx]
+	}
+	return nil
+}
+
+// pushRet records the predicted return target of a call edge.
+func (e *compiledEngine) pushRet(tid int, pc uint64) {
+	st := e.rets[tid]
+	if len(st) >= retStackCap {
+		st = st[:0]
+	}
+	e.rets[tid] = append(st, pred{pc: pc, gen: e.c.cacheGen, ent: e.c.probeDisp(pc)})
+}
+
+// popRet consumes the top return prediction; when it matches the actual
+// return target within the live cache generation, the dispatch prediction is
+// primed from it, otherwise it is dropped and the next dispatch falls back
+// to the fast dispatch table.
+func (e *compiledEngine) popRet(tid int, next uint64) {
+	st := e.rets[tid]
+	if n := len(st); n > 0 {
+		r := st[n-1]
+		e.rets[tid] = st[:n-1]
+		if r.pc == next && r.gen == e.c.cacheGen {
+			ent := r.ent
+			if ent == nil {
+				// Not compiled at push time; it may be by now.
+				ent = e.c.probeDisp(next)
+			}
+			if ent != nil {
+				p := &e.preds[tid]
+				p.ent, p.pc, p.gen = ent, next, r.gen
+				return
+			}
+		}
+	}
+	e.clearPred(tid)
 }
 
 // takeExit performs a taken block exit: credit the retired-instruction count

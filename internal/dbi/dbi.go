@@ -126,6 +126,21 @@ type Core struct {
 	// cacheStmts counts IR statements held in the translation cache.
 	cacheStmts uint64
 
+	// Delivery selects how InstrumentAccesses-based tools receive the
+	// access stream: batched per superblock segment (the default) or one
+	// callback per access (the differential reference). Set before the
+	// first translation.
+	Delivery Delivery
+	// batchBuf is the reusable access-batch buffer shared by every
+	// flushSite (the scheduler is single-threaded by construction).
+	batchBuf []Access
+	// DirtyCalls counts tool dirty-call executions (both engines) —
+	// the callback-granularity metric batched delivery improves.
+	DirtyCalls uint64
+	// AccessesDelivered counts guest accesses delivered through
+	// InstrumentAccesses flush callbacks.
+	AccessesDelivered uint64
+
 	// Obs carries the optional observability hooks; nil when disabled.
 	Obs *obs.Hooks
 	// ctrCreqs and histBlockStmts are pre-resolved metrics (nil-safe).

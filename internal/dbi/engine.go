@@ -72,9 +72,11 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 		case vex.SWrTmpExpr:
 			tmps[s.Tmp] = evalExpr(s.E1, tmps, regs)
 		case vex.SWrTmpBinop:
-			tmps[s.Tmp] = vex.EvalBinop(s.Op, evalExpr(s.E1, tmps, regs), evalExpr(s.E2, tmps, regs))
+			// Pre-resolved function-pointer dispatch (the compiled
+			// engine's table) instead of re-switching on the op.
+			tmps[s.Tmp] = vex.BinopFn(s.Op)(evalExpr(s.E1, tmps, regs), evalExpr(s.E2, tmps, regs))
 		case vex.SWrTmpUnop:
-			tmps[s.Tmp] = vex.EvalUnop(s.Op, evalExpr(s.E1, tmps, regs))
+			tmps[s.Tmp] = vex.UnopFn(s.Op)(evalExpr(s.E1, tmps, regs))
 		case vex.SWrTmpLoad:
 			tmps[s.Tmp] = m.Mem.Load(evalExpr(s.E1, tmps, regs), uint8(s.Wd))
 		case vex.SStore:
@@ -94,6 +96,7 @@ func (e *irEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult, err 
 			for j, a := range s.Args {
 				args[j] = evalExpr(a, tmps, regs)
 			}
+			e.c.DirtyCalls++
 			r := s.Fn(t, args)
 			if s.Tmp != vex.NoTemp {
 				tmps[s.Tmp] = r

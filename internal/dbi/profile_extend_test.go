@@ -1,0 +1,152 @@
+package dbi_test
+
+// Superblock extension fuses boring jumps into longer translation units, so
+// an extended run dispatches fewer, bigger blocks than an unextended one.
+// Profiler samples are weighted by each block's retired instruction count
+// precisely so that this difference is invisible at symbol granularity:
+// these tests pin that invariant.
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/drb"
+	"repro/internal/gbuild"
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// profileBySymbol runs mk single-threaded with an every-block profiler and
+// returns the per-symbol sample counts plus the machine's retired
+// instruction total.
+func profileBySymbol(t *testing.T, mk func() *gbuild.Builder, engine string, extend int) (map[string]uint64, uint64, uint64) {
+	t.Helper()
+	prof := obs.NewProfiler(1)
+	res, inst, err := harness.BuildAndRun(mk(), harness.Setup{
+		Seed: 1, Threads: 1, Stdout: io.Discard,
+		Engine: engine, Extend: extend,
+		Obs: &obs.Hooks{Prof: prof},
+	})
+	if err != nil {
+		t.Fatalf("%s/extend=%d: %v", engine, extend, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s/extend=%d: run: %v", engine, extend, res.Err)
+	}
+	return prof.BySymbol(inst.M.Image), prof.Total(), inst.M.InstrsExecuted
+}
+
+// TestProfileExtendAgreement asserts that with instruction-weighted samples
+// at interval 1, the per-symbol profile of an extended run is *identical* to
+// the unextended one — extension only fuses jumps within a function, so the
+// instructions retired per symbol cannot change, and the weighting makes
+// the profiler see exactly that quantity. On both engines.
+func TestProfileExtendAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mk := func() *gbuild.Builder { return fuzzProgram(seed) }
+			for _, engine := range []string{dbi.EngineIR, dbi.EngineCompiled} {
+				base, baseTotal, baseInstrs := profileBySymbol(t, mk, engine, 0)
+				ext, extTotal, extInstrs := profileBySymbol(t, mk, engine, 64)
+				if baseInstrs != extInstrs {
+					t.Fatalf("%s: retired instructions diverge: extend=0 %d, extend=64 %d",
+						engine, baseInstrs, extInstrs)
+				}
+				if !reflect.DeepEqual(base, ext) {
+					t.Fatalf("%s: per-symbol profiles diverge:\nextend=0:  %v\nextend=64: %v",
+						engine, base, ext)
+				}
+				if baseTotal != extTotal {
+					t.Fatalf("%s: sample totals diverge: extend=0 %d, extend=64 %d",
+						engine, baseTotal, extTotal)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileExtendAgreementParallel covers the multithreaded case. Here
+// exact global equality is impossible: extension changes block boundaries,
+// block boundaries are the scheduling quantum, and a shifted schedule makes
+// threads spin marginally different amounts in the runtime's barrier and
+// task loops. But that jitter is confined to the runtime: the guest
+// instructions retired in *user* code are schedule-independent, so user
+// symbols must agree exactly, and the runtime (`__kmp*`) divergence — pure
+// spin-count jitter — is bounded at 10% of the runtime's own weight.
+func TestProfileExtendAgreementParallel(t *testing.T) {
+	for _, b := range drb.All() {
+		if b.Name != "027-taskdependmissing-orig" && b.Name != "106-taskwaitmissing-orig" {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prof := func(extend int) map[string]uint64 {
+				p := obs.NewProfiler(1)
+				res, inst, err := harness.BuildAndRun(b.Build(), harness.Setup{
+					Seed: 1, Threads: 4, Stdout: io.Discard,
+					Engine: dbi.EngineCompiled, Extend: extend,
+					Obs: &obs.Hooks{Prof: p},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				return p.BySymbol(inst.M.Image)
+			}
+			base, ext := prof(0), prof(64)
+			isRuntime := func(sym string) bool { return strings.HasPrefix(sym, "__kmp") }
+			var rtWeight, rtDist uint64
+			seen := map[string]bool{}
+			for _, m := range []map[string]uint64{base, ext} {
+				for sym := range m {
+					if seen[sym] {
+						continue
+					}
+					seen[sym] = true
+					n, x := base[sym], ext[sym]
+					if !isRuntime(sym) {
+						if n != x {
+							t.Errorf("user symbol %s: extend=0 weight %d, extend=64 weight %d (must match exactly)", sym, n, x)
+						}
+						continue
+					}
+					rtWeight += n
+					if x > n {
+						rtDist += x - n
+					} else {
+						rtDist += n - x
+					}
+				}
+			}
+			if rtWeight > 0 {
+				if frac := float64(rtDist) / float64(rtWeight); frac > 0.10 {
+					t.Errorf("runtime spin weight diverges by %.1f%% (limit 10%%)\nextend=0:  %v\nextend=64: %v",
+						100*frac, base, ext)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileWeightMatchesInstrs checks the weighting identity directly: at
+// interval 1 every dispatched block fires, each credited its retired
+// instruction count, so the profile total equals the machine's retired
+// instruction counter.
+func TestProfileWeightMatchesInstrs(t *testing.T) {
+	for _, engine := range []string{dbi.EngineIR, dbi.EngineCompiled} {
+		for _, extend := range []int{0, 64} {
+			_, total, instrs := profileBySymbol(t, func() *gbuild.Builder { return fuzzProgram(3) }, engine, extend)
+			if total != instrs {
+				t.Errorf("%s/extend=%d: profile total %d != retired instructions %d",
+					engine, extend, total, instrs)
+			}
+		}
+	}
+}

@@ -60,6 +60,11 @@ type Setup struct {
 	// block granularity — and therefore scheduler interleavings — so leave
 	// it zero when reproducing seeded schedules.
 	Extend int
+	// Delivery selects how access-stream tools receive memory accesses:
+	// dbi.DeliverBatched (one flush per superblock segment, the default) or
+	// dbi.DeliverPerEvent (one callback per access, the differential
+	// reference).
+	Delivery dbi.Delivery
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
@@ -101,6 +106,7 @@ func New(s Setup) (*Instance, error) {
 	inst.RunOpts = s.RunOpts
 	inst.Core = dbi.New(m, s.Tool)
 	inst.Core.ExtendBudget = s.Extend
+	inst.Core.Delivery = s.Delivery
 	if s.Engine != "" {
 		if err := inst.Core.SelectEngine(s.Engine); err != nil {
 			return nil, err
@@ -165,6 +171,8 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("dbi_chain_hits_total").Set(c.ChainHits)
 	reg.Counter("dbi_chain_misses_total").Set(c.ChainMisses)
 	reg.Counter("dbi_extend_seams_total").Set(c.ExtendSeams)
+	reg.Counter("dbi_dirty_calls_total").Set(c.DirtyCalls)
+	reg.Counter("dbi_accesses_delivered_total").Set(c.AccessesDelivered)
 
 	reg.Counter("vm_guest_faults_total").Set(m.GuestFaults)
 	reg.Counter("vm_host_panics_total").Set(m.HostPanics)

@@ -9,8 +9,12 @@ import (
 )
 
 // Profiler samples the guest program counter on the block clock: every
-// Interval-th dispatched block contributes one sample at its entry PC.
-// Because the block clock is deterministic, the profile is exactly
+// Interval-th dispatched block contributes one sample at its entry PC,
+// weighted by the block's retired guest instruction count. The weighting is
+// what makes profiles comparable across superblock extension: an extended
+// block retires the instructions of every basic block it fused, so sampling
+// it at weight 1 would understate exactly the code hot enough to get
+// extended. Because the block clock is deterministic, the profile is exactly
 // reproducible from (program, seed). Samples resolve through the image's
 // symbol and line tables into a flat and a per-symbol profile — where
 // instrumented execution time goes, the measurement behind every "make the
@@ -32,17 +36,27 @@ func NewProfiler(interval uint64) *Profiler {
 	return &Profiler{Interval: interval, samples: make(map[uint64]uint64)}
 }
 
-// Sample ticks the block clock with the PC about to execute. A nil receiver
-// is a no-op so dispatch loops can call through an unconditional pointer.
-func (p *Profiler) Sample(pc uint64) {
+// Sample ticks the block clock with the PC of a dispatched block, at unit
+// weight. A nil receiver is a no-op so dispatch loops can call through an
+// unconditional pointer.
+func (p *Profiler) Sample(pc uint64) { p.SampleW(pc, 1) }
+
+// SampleW ticks the block clock with the PC of a dispatched block that
+// retired weight guest instructions. The clock advances once per block
+// regardless of weight; when the interval fires, the sample is credited
+// weight counts (a zero-weight fire — e.g. a thread-exit dispatch that
+// retires nothing — advances the clock without recording).
+func (p *Profiler) SampleW(pc, weight uint64) {
 	if p == nil {
 		return
 	}
 	p.tick++
 	if p.tick >= p.Interval {
 		p.tick = 0
-		p.samples[pc]++
-		p.total++
+		if weight > 0 {
+			p.samples[pc] += weight
+			p.total += weight
+		}
 	}
 }
 
@@ -52,6 +66,26 @@ func (p *Profiler) Total() uint64 {
 		return 0
 	}
 	return p.total
+}
+
+// BySymbol aggregates the samples per enclosing symbol — the granularity at
+// which extended and unextended profiles are comparable (extension fuses
+// jumps within a function but never crosses call or return edges).
+func (p *Profiler) BySymbol(im *guest.Image) map[string]uint64 {
+	out := make(map[string]uint64)
+	if p == nil {
+		return out
+	}
+	for pc, n := range p.samples {
+		name := "?"
+		if im != nil {
+			if sym := im.SymbolFor(pc); sym != nil {
+				name = sym.Name
+			}
+		}
+		out[name] += n
+	}
+	return out
 }
 
 // flatEntry is one resolved PC row of the profile.

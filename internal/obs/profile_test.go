@@ -61,6 +61,49 @@ func TestProfilerInterval(t *testing.T) {
 	}
 }
 
+func TestProfilerWeightedSamples(t *testing.T) {
+	p := NewProfiler(1)
+	p.SampleW(guest.TextBase, 7)    // a 7-instruction superblock
+	p.SampleW(guest.TextBase, 7)    // dispatched twice
+	p.SampleW(guest.TextBase+64, 3) // a 3-instruction block
+	p.SampleW(guest.TextBase+64, 0) // zero-weight fire: ticks, records nothing
+	if p.Total() != 17 {
+		t.Fatalf("weighted total = %d, want 17", p.Total())
+	}
+	by := p.BySymbol(testImage())
+	if by["hot_loop"] != 14 || by["cold_path"] != 3 {
+		t.Fatalf("per-symbol = %v, want hot_loop:14 cold_path:3", by)
+	}
+}
+
+func TestProfilerWeightedInterval(t *testing.T) {
+	// Weight must not advance the block clock: with interval 4, every 4th
+	// SampleW fires regardless of the weights seen in between.
+	p := NewProfiler(4)
+	for i := 0; i < 16; i++ {
+		p.SampleW(0x1000, 5)
+	}
+	if p.Total() != 4*5 {
+		t.Fatalf("interval-weighted total = %d, want 20", p.Total())
+	}
+}
+
+func TestProfilerBySymbolUnresolved(t *testing.T) {
+	p := NewProfiler(1)
+	p.SampleW(0xdead0000, 2)
+	by := p.BySymbol(testImage())
+	if by["?"] != 2 {
+		t.Fatalf("unresolved bucket = %v, want ?:2", by)
+	}
+	if got := p.BySymbol(nil); got["?"] != 2 {
+		t.Fatalf("nil-image BySymbol = %v, want ?:2", got)
+	}
+	var nilp *Profiler
+	if got := nilp.BySymbol(testImage()); len(got) != 0 {
+		t.Fatalf("nil profiler BySymbol = %v, want empty", got)
+	}
+}
+
 func TestProfilerUnresolvedPC(t *testing.T) {
 	p := NewProfiler(1)
 	p.Sample(0xdead0000)

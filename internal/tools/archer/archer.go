@@ -244,30 +244,16 @@ func (a *Archer) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock {
 			return sb
 		}
 	}
-	out := &vex.SuperBlock{
-		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
-		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
-	}
-	pc := sb.GuestAddr
-	for _, s := range sb.Stmts {
-		if s.Kind == vex.SIMark {
-			pc = s.Addr
-		}
-		switch s.Kind {
-		case vex.SWrTmpLoad:
-			out.Stmts = append(out.Stmts, vex.Stmt{
-				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "archer_read", Fn: a.onRead,
-				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd)), vex.ConstE(pc)},
-			})
-		case vex.SStore:
-			out.Stmts = append(out.Stmts, vex.Stmt{
-				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "archer_write", Fn: a.onWrite,
-				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd)), vex.ConstE(pc)},
-			})
-		}
-		out.Stmts = append(out.Stmts, s)
-	}
+	out, _, _ := c.InstrumentAccesses(sb, a)
 	return out
+}
+
+// FlushAccesses implements dbi.AccessSink: shadow-check a batch of accesses.
+func (a *Archer) FlushAccesses(t *vm.Thread, batch []dbi.Access) {
+	for i := range batch {
+		x := &batch[i]
+		a.check(t, x.Addr, uint64(x.Wd), x.PC, x.Store)
+	}
 }
 
 // tracked reports whether an address is in scope (user data; the runtime
@@ -275,16 +261,6 @@ func (a *Archer) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock {
 func tracked(addr uint64) bool {
 	return addr >= guest.DataBase &&
 		!(addr >= guest.FastPoolBase && addr < guest.FastPoolLimit)
-}
-
-func (a *Archer) onRead(ctx any, args []uint64) uint64 {
-	a.check(ctx.(*vm.Thread), args[0], args[1], args[2], false)
-	return 0
-}
-
-func (a *Archer) onWrite(ctx any, args []uint64) uint64 {
-	a.check(ctx.(*vm.Thread), args[0], args[1], args[2], true)
-	return 0
 }
 
 // check is the TSan-style shadow update for one access.

@@ -1,0 +1,184 @@
+// Package golden snapshots each tool's rendered, user-visible report on a
+// fixed set of example programs. The delivery differential suite proves the
+// batched and per-event paths hand tools identical access streams; these
+// goldens additionally pin the *rendered output* byte-for-byte, so a
+// delivery-path or engine refactor cannot silently reword, reorder, or drop
+// reports. Regenerate with:
+//
+//	go test ./internal/tools/golden -update
+package golden
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dbi"
+	"repro/internal/drb"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/tools/archer"
+	"repro/internal/tools/memcheck"
+	"repro/internal/tools/romp"
+	"repro/internal/tools/toolreg"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// buildListing4 is the paper's running example (Listing 4): two sibling
+// tasks racing on *xptr with no depend clauses.
+func buildListing4() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("xptr", 8)
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+	task := func(name string, line int, val int32) {
+		f := b.Func(name, "task.c")
+		f.Line(line)
+		f.LoadSym(r1, "xptr")
+		f.Ld(8, r1, r1, 0)
+		f.Ldi(r2, val)
+		f.St(4, r1, 0, r2)
+		f.Ret()
+	}
+	task("task_a", 8, 42)
+	task("task_b", 11, 43)
+	f := b.Func("micro", "task.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_a"})
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_b"})
+	})
+	f.Leave()
+	f = b.Func("main", "task.c")
+	f.Enter(0)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.LoadSym(r1, "xptr")
+	f.St(8, r1, 0, r0)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}
+
+// goldenPrograms is the example set: the paper's Listing 4 plus a
+// representative slice of Table I — racy and race-free task-dependency
+// benchmarks and one TMB stack case.
+func goldenPrograms(t *testing.T) []struct {
+	name string
+	mk   func() *gbuild.Builder
+} {
+	t.Helper()
+	want := []string{
+		"027-taskdependmissing-orig",
+		"072-taskdep1-orig",
+		"106-taskwaitmissing-orig",
+		"131-taskdep4-orig-omp45",
+		"1001-stack_1",
+	}
+	progs := []struct {
+		name string
+		mk   func() *gbuild.Builder
+	}{{"task.c", buildListing4}}
+	for _, name := range want {
+		found := false
+		for _, b := range drb.All() {
+			if b.Name == name {
+				progs = append(progs, struct {
+					name string
+					mk   func() *gbuild.Builder
+				}{b.Name, b.Build})
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("golden program %q not in drb suite", name)
+		}
+	}
+	return progs
+}
+
+// render mirrors cmd/taskgrind's report-printing switch: the same bytes the
+// user sees on stdout.
+func render(t *testing.T, tool dbi.Tool) string {
+	t.Helper()
+	switch tt := tool.(type) {
+	case *core.Taskgrind:
+		if tt.Opt.IgnoreMutexinoutsetDeps { // the ROMP configuration
+			return romp.Format(&tt.Reports)
+		}
+		return tt.Reports.String()
+	case *archer.Archer:
+		return tt.String()
+	case *memcheck.Memcheck:
+		return tt.String()
+	}
+	t.Fatalf("no renderer for tool %T", tool)
+	return ""
+}
+
+// runTool executes prog under the named tool with the given delivery mode
+// and returns the rendered report.
+func runTool(t *testing.T, mk func() *gbuild.Builder, toolName string, d dbi.Delivery) string {
+	t.Helper()
+	tool, _, err := toolreg.Make(toolName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := harness.BuildAndRun(mk(), harness.Setup{
+		Tool: tool, Seed: 1, Threads: 4, Stdout: io.Discard, Delivery: d,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", toolName, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s: run: %v", toolName, res.Err)
+	}
+	return render(t, tool)
+}
+
+// TestGoldenReports locks each tool's rendered output on the example
+// programs against checked-in snapshots, under both delivery modes: the
+// batched fast path must produce the exact bytes the per-event reference
+// produced when the goldens were recorded.
+func TestGoldenReports(t *testing.T) {
+	tools := []string{"taskgrind", "tasksan", "romp", "archer", "memcheck"}
+	for _, p := range goldenPrograms(t) {
+		p := p
+		for _, toolName := range tools {
+			toolName := toolName
+			t.Run(toolName+"/"+p.name, func(t *testing.T) {
+				got := runTool(t, p.mk, toolName, dbi.DeliverBatched)
+				path := filepath.Join("testdata", toolName+"__"+p.name+".golden")
+				if *update {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to record): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("batched output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
+						path, want, got)
+				}
+				if pe := runTool(t, p.mk, toolName, dbi.DeliverPerEvent); pe != string(want) {
+					t.Errorf("per-event output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
+						path, want, pe)
+				}
+			})
+		}
+	}
+}

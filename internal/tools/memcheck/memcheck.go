@@ -184,39 +184,30 @@ func (mc *Memcheck) report(f Finding) {
 	mc.Findings = append(mc.Findings, f)
 }
 
-// Instrument injects an access check before every load and store in heap
-// range.
+// Instrument routes every load and store through the core's access-delivery
+// path (batched per superblock segment by default, one callback per access
+// in the differential reference mode).
 func (mc *Memcheck) Instrument(c *dbi.Core, sb *vex.SuperBlock) *vex.SuperBlock {
-	out := &vex.SuperBlock{
-		GuestAddr: sb.GuestAddr, NTemps: sb.NTemps,
-		Next: sb.Next, NextJK: sb.NextJK, Aux: sb.Aux,
-	}
-	pc := sb.GuestAddr
-	for _, s := range sb.Stmts {
-		if s.Kind == vex.SIMark {
-			pc = s.Addr
-		}
-		switch s.Kind {
-		case vex.SWrTmpLoad, vex.SStore:
-			out.Stmts = append(out.Stmts, vex.Stmt{
-				Kind: vex.SDirty, Tmp: vex.NoTemp, Name: "mc_check", Fn: mc.onAccess,
-				Args: []vex.Expr{s.E1, vex.ConstE(uint64(s.Wd)), vex.ConstE(pc)},
-			})
-		}
-		out.Stmts = append(out.Stmts, s)
-	}
+	out, _, _ := c.InstrumentAccesses(sb, mc)
 	return out
 }
 
-// onAccess checks one memory access.
-func (mc *Memcheck) onAccess(ctx any, args []uint64) uint64 {
-	addr, w, pc := args[0], args[1], args[2]
+// FlushAccesses implements dbi.AccessSink: check a batch of accesses.
+func (mc *Memcheck) FlushAccesses(t *vm.Thread, batch []dbi.Access) {
+	for i := range batch {
+		a := &batch[i]
+		mc.access(a.Addr, uint64(a.Wd), a.PC)
+	}
+}
+
+// access checks one memory access.
+func (mc *Memcheck) access(addr, w, pc uint64) {
 	if addr < guest.HeapBase || addr >= guest.HeapLimit {
-		return 0
+		return
 	}
 	b := mc.containing(addr)
 	if b == nil {
-		return 0 // not from malloc (runtime pools etc.)
+		return // not from malloc (runtime pools etc.)
 	}
 	switch {
 	case b.freed:
@@ -224,7 +215,6 @@ func (mc *Memcheck) onAccess(ctx any, args []uint64) uint64 {
 	case addr+w > b.addr+b.reqSize:
 		mc.report(Finding{Kind: RedzoneAccess, Addr: addr, PC: pc, AllocStack: b.stack})
 	}
-	return 0
 }
 
 // Fini reports leaks: blocks never freed.

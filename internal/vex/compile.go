@@ -463,10 +463,13 @@ func Compile(sb *SuperBlock) (*Compiled, error) {
 	out.NextKind = k
 	out.NextIdx = idx
 	out.NextImm = imm
-	// Constant fall-throughs and direct calls transfer to a statically known
-	// successor: both get a chain site. Returns and host/client transfers
-	// stay unchained (dynamic target, or the host may redirect the thread).
-	if k == KindConst && (sb.NextJK == JKBoring || sb.NextJK == JKCall) {
+	// Constant successors get a chain site: fall-throughs, direct calls,
+	// and host-call/client-request edges (which resume at the call site's
+	// static successor — a host that redirects the thread merely misses the
+	// re-verified prediction). Returns stay unchained here; they are
+	// predicted through the engine's return stack instead.
+	if k == KindConst && (sb.NextJK == JKBoring || sb.NextJK == JKCall ||
+		sb.NextJK == JKHostCall || sb.NextJK == JKClientReq) {
 		out.NextChain = cc.newChain()
 	}
 	cc.fuse()

@@ -1,0 +1,48 @@
+package vm
+
+import "testing"
+
+// TestPickDoesNotAllocate is the allocs/op guard for the scheduler's thread
+// selection: pick() runs once per timeslice (and its PRNG draw once per solo
+// chunk), so it must reuse the machine-owned scratch slice instead of
+// building a fresh runnable list. The Machine is assembled by hand — pick()
+// only touches threads, the PRNG and the scratch buffer.
+func TestPickDoesNotAllocate(t *testing.T) {
+	m := &Machine{rng: 0x9e3779b97f4a7c15}
+	for i := 0; i < 8; i++ {
+		st := ThreadRunnable
+		if i%3 == 0 {
+			st = ThreadBlocked
+		}
+		m.threads = append(m.threads, &Thread{ID: i, State: st, m: m})
+	}
+	// Prime the scratch buffer once; every later pick must reuse it.
+	if m.pick() == nil {
+		t.Fatal("pick returned nil with runnable threads")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if m.pick() == nil {
+			t.Fatal("pick returned nil with runnable threads")
+		}
+	}); n != 0 {
+		t.Errorf("pick: %.1f allocs per call, want 0", n)
+	}
+}
+
+// TestSoleRunnableDoesNotAllocate guards the solo fast path's per-chunk
+// runnable scan.
+func TestSoleRunnableDoesNotAllocate(t *testing.T) {
+	m := &Machine{}
+	m.threads = append(m.threads, &Thread{ID: 0, State: ThreadRunnable, m: m})
+	for i := 1; i < 4; i++ {
+		m.threads = append(m.threads, &Thread{ID: i, State: ThreadExited, m: m})
+	}
+	sole := m.threads[0]
+	if n := testing.AllocsPerRun(200, func() {
+		if !m.soleRunnable(sole) {
+			t.Fatal("soleRunnable false for the only runnable thread")
+		}
+	}); n != 0 {
+		t.Errorf("soleRunnable: %.1f allocs per call, want 0", n)
+	}
+}

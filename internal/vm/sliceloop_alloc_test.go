@@ -1,0 +1,69 @@
+package vm_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// buildCountdown builds a program whose body is a counted one-block loop: n
+// backedge dispatches, then Hlt. Two instances differing only in n isolate
+// the scheduler's per-block cost.
+func buildCountdown(t *testing.T, n int32) *guest.Image {
+	t.Helper()
+	b := gbuild.New()
+	f := b.Func("main", "count.c")
+	f.Ldi(guest.R10, n)
+	f.Ldi(guest.R11, 0)
+	head := f.NewLabel()
+	f.Bind(head)
+	f.Addi(guest.R10, guest.R10, -1)
+	f.Bne(guest.R10, guest.R11, head)
+	f.Hlt(guest.R10)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// mallocsForRun runs a countdown of n iterations to completion and returns
+// the heap allocations made during the run (setup excluded).
+func mallocsForRun(t *testing.T, n int32) uint64 {
+	t.Helper()
+	m, err := vm.New(buildCountdown(t, n), vm.NewHostRegistry(), vm.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestSliceLoopDoesNotAllocate guards the batched slice loop end to end:
+// scheduling and dispatching an extra ~8000 blocks through RunOpts — budget
+// checks, pick, solo chunking, the obs gates on their disabled path — must
+// not allocate per block. The two runs differ only in iteration count, so
+// fixed costs (watchless setup, exit) cancel out.
+func TestSliceLoopDoesNotAllocate(t *testing.T) {
+	const small, big = 1000, 9000
+	ms := mallocsForRun(t, small)
+	mb := mallocsForRun(t, big)
+	var extra uint64
+	if mb > ms {
+		extra = mb - ms
+	}
+	// Tolerate a little background noise (runtime internals), far below
+	// one allocation per block.
+	if per := float64(extra) / float64(big-small); per > 0.01 {
+		t.Errorf("slice loop: %.4f allocs per extra block (%d over %d blocks), want ~0",
+			per, extra, big-small)
+	}
+}

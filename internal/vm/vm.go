@@ -210,10 +210,14 @@ type Machine struct {
 	// Stdout receives guest program output.
 	Stdout io.Writer
 
-	threads   []*Thread
-	hostFns   []HostFn // indexed by host-import id
-	hostNames []string
-	registry  map[string]HostFn
+	threads []*Thread
+	// runnableBuf is pick()'s reusable scratch slice (the scheduler is
+	// single-threaded by construction), keeping steady-state scheduling
+	// allocation-free.
+	runnableBuf []*Thread
+	hostFns     []HostFn // indexed by host-import id
+	hostNames   []string
+	registry    map[string]HostFn
 	// decoded is the predecoded text segment ("native" execution does not
 	// re-decode instruction words on every visit).
 	decoded []guest.Instr
@@ -477,6 +481,20 @@ func (m *Machine) watchdog(kind string, limit uint64) error {
 	return &WatchdogError{Kind: kind, Limit: limit, Threads: m.DumpThreads()}
 }
 
+// checkBudgets trips the watchdog when a run budget is exhausted.
+func (m *Machine) checkBudgets(opts *RunOpts, deadline time.Time) error {
+	if opts.MaxBlocks > 0 && m.BlocksExecuted >= opts.MaxBlocks {
+		return m.watchdog("blocks", opts.MaxBlocks)
+	}
+	if opts.MaxInstrs > 0 && m.InstrsExecuted >= opts.MaxInstrs {
+		return m.watchdog("instrs", opts.MaxInstrs)
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return m.watchdog("wall", uint64(opts.Timeout))
+	}
+	return nil
+}
+
 // RunOpts runs with options.
 func (m *Machine) RunOpts(opts RunOpts) error {
 	var deadline time.Time
@@ -485,14 +503,8 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 	}
 	var cur *Thread
 	for !m.exited {
-		if opts.MaxBlocks > 0 && m.BlocksExecuted >= opts.MaxBlocks {
-			return m.watchdog("blocks", opts.MaxBlocks)
-		}
-		if opts.MaxInstrs > 0 && m.InstrsExecuted >= opts.MaxInstrs {
-			return m.watchdog("instrs", opts.MaxInstrs)
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return m.watchdog("wall", uint64(opts.Timeout))
+		if err := m.checkBudgets(&opts, deadline); err != nil {
+			return err
 		}
 		t := m.pick()
 		if t == nil {
@@ -516,36 +528,33 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 		if m.Perturb != nil && m.Perturb() {
 			slice = 1
 		}
-		voluntary := false
-		for i := 0; i < slice && t.State == ThreadRunnable && !m.exited; i++ {
-			if h := m.Obs; h != nil {
-				h.Prof.Sample(t.PC)
-				if h.Tracer != nil && h.Tracer.BlockEvents {
-					h.Tracer.Instant(m.BlocksExecuted, t.ID, "vm", "block",
-						map[string]any{"pc": t.PC})
-				}
+		voluntary, err := m.runSlice(t, slice)
+		if err != nil {
+			return err
+		}
+		// Solo fast path: while t is the only runnable thread, a full
+		// scheduling round could only re-pick it — so keep feeding it
+		// slices here without the per-slice accounting (switch check,
+		// slice/preemption counters). The PRNG and perturbation streams
+		// are consumed exactly as the full round would (one draw, one
+		// Perturb consult per slice), so schedules are bit-identical to
+		// the unbatched loop; only the bookkeeping is amortized.
+		for !voluntary && t.State == ThreadRunnable && !m.exited && m.soleRunnable(t) {
+			if err := m.checkBudgets(&opts, deadline); err != nil {
+				return err
 			}
-			res, err := m.runBlockGuarded(t)
+			m.rand() // the draw pick() would have consumed
+			slice = m.slice
+			if m.Perturb != nil && m.Perturb() {
+				slice = 1
+			}
+			voluntary, err = m.runSlice(t, slice)
 			if err != nil {
-				var gf *GuestFault
-				var hp *HostPanic
-				if errors.As(err, &gf) || errors.As(err, &hp) {
-					// Already carries thread/pc context.
-					return err
-				}
-				return fmt.Errorf("vm: thread %d at 0x%x: %w", t.ID, t.PC, err)
-			}
-			m.BlocksExecuted++
-			t.BlocksExecuted++
-			switch res {
-			case RunOK:
-			case RunBlocked, RunThreadExited, RunProgramExited:
-				i = slice
-			case RunYield:
-				voluntary = true
-				i = slice
+				return err
 			}
 		}
+		// An involuntary slice end with the thread still runnable is a
+		// preemption: another thread is competing for the processor.
 		if !voluntary && t.State == ThreadRunnable && !m.exited {
 			m.Preemptions++
 		}
@@ -553,18 +562,76 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 	return nil
 }
 
-// pick selects the next runnable thread pseudo-randomly.
+// runSlice executes up to slice blocks of t, reporting whether the slice
+// ended voluntarily. The observability gates are resolved once per slice —
+// the per-block cost of disabled observability is two predictable branches —
+// and profiler samples are weighted by each dispatched block's retired
+// instruction count, so extended superblocks weigh as much as the basic
+// blocks they fuse and -extend profiles agree with unextended ones.
+func (m *Machine) runSlice(t *Thread, slice int) (voluntary bool, err error) {
+	var prof *obs.Profiler
+	blockEvents := false
+	if h := m.Obs; h != nil {
+		prof = h.Prof
+		blockEvents = h.Tracer != nil && h.Tracer.BlockEvents
+	}
+	for i := 0; i < slice && t.State == ThreadRunnable && !m.exited; i++ {
+		pc0, i0 := t.PC, t.InstrsExecuted
+		if blockEvents {
+			m.Obs.Tracer.Instant(m.BlocksExecuted, t.ID, "vm", "block",
+				map[string]any{"pc": pc0})
+		}
+		res, err := m.runBlockGuarded(t)
+		if err != nil {
+			var gf *GuestFault
+			var hp *HostPanic
+			if errors.As(err, &gf) || errors.As(err, &hp) {
+				// Already carries thread/pc context.
+				return false, err
+			}
+			return false, fmt.Errorf("vm: thread %d at 0x%x: %w", t.ID, t.PC, err)
+		}
+		m.BlocksExecuted++
+		t.BlocksExecuted++
+		if prof != nil {
+			prof.SampleW(pc0, t.InstrsExecuted-i0)
+		}
+		switch res {
+		case RunOK:
+		case RunBlocked, RunThreadExited, RunProgramExited:
+			i = slice
+		case RunYield:
+			voluntary = true
+			i = slice
+		}
+	}
+	return voluntary, nil
+}
+
+// pick selects the next runnable thread pseudo-randomly. The scratch slice
+// is machine-owned, so steady-state scheduling does not allocate.
 func (m *Machine) pick() *Thread {
-	var runnable []*Thread
+	runnable := m.runnableBuf[:0]
 	for _, t := range m.threads {
 		if t.State == ThreadRunnable {
 			runnable = append(runnable, t)
 		}
 	}
+	m.runnableBuf = runnable
 	if len(runnable) == 0 {
 		return nil
 	}
 	return runnable[m.rand()%uint64(len(runnable))]
+}
+
+// soleRunnable reports whether t is the only runnable thread.
+func (m *Machine) soleRunnable(t *Thread) bool {
+	for _, o := range m.threads {
+		if o.State == ThreadRunnable && o != t {
+			return false
+		}
+	}
+	return true
 }
 
 func (m *Machine) allExited() bool {

@@ -259,33 +259,62 @@ func BenchmarkPerfEngines(b *testing.B) {
 		arm.ExecSpeedupVsIR = arm.ExecInstrsPerSec / ir.ExecInstrsPerSec
 		arm.E2ESpeedupVsIR = arm.InstrsPerSec / ir.InstrsPerSec
 	}
-	if out := os.Getenv("PERF_BENCH_OUT"); out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			b.Fatal(err)
+	writePerfSection(b, "engines", struct {
+		Suite     string     `json:"suite"`
+		Tool      string     `json:"tool"`
+		Threads   int        `json:"threads"`
+		Seed      uint64     `json:"seed"`
+		Criterion string     `json:"criterion"`
+		Timestamp string     `json:"timestamp"`
+		Arms      []*perfArm `json:"arms"`
+	}{
+		Suite: "table1-drb", Tool: "none(nop)", Threads: 4, Seed: 1,
+		Criterion: "speedup_vs_ir compares hot_instrs_per_sec: engine " +
+			"throughput re-executing the suite's cached translations. " +
+			"exec_speedup_vs_ir excludes translate+compile wall time " +
+			"but keeps shared runtime cost; e2e_speedup_vs_ir is raw " +
+			"wall clock (translation-dominated on this suite).",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Arms:      arms,
+	})
+}
+
+// perfSections are the top-level keys of $PERF_BENCH_OUT. The file is shared
+// by BenchmarkPerfEngines ("engines") and BenchmarkToolDelivery
+// ("tool_delivery"); each benchmark rewrites only its own section so the two
+// can be (re)recorded independently.
+var perfSections = []string{"engines", "tool_delivery"}
+
+// writePerfSection read-modify-writes one section of $PERF_BENCH_OUT,
+// preserving the other sections. A legacy flat-format file (pre-sections) is
+// discarded rather than merged. No-op when PERF_BENCH_OUT is unset.
+func writePerfSection(b *testing.B, key string, section any) {
+	b.Helper()
+	out := os.Getenv("PERF_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(out); err == nil {
+		var prev map[string]json.RawMessage
+		if json.Unmarshal(data, &prev) == nil {
+			for _, k := range perfSections {
+				if v, ok := prev[k]; ok {
+					doc[k] = v
+				}
+			}
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			Suite     string     `json:"suite"`
-			Tool      string     `json:"tool"`
-			Threads   int        `json:"threads"`
-			Seed      uint64     `json:"seed"`
-			Criterion string     `json:"criterion"`
-			Timestamp string     `json:"timestamp"`
-			Arms      []*perfArm `json:"arms"`
-		}{
-			Suite: "table1-drb", Tool: "none(nop)", Threads: 4, Seed: 1,
-			Criterion: "speedup_vs_ir compares hot_instrs_per_sec: engine " +
-				"throughput re-executing the suite's cached translations. " +
-				"exec_speedup_vs_ir excludes translate+compile wall time " +
-				"but keeps shared runtime cost; e2e_speedup_vs_ir is raw " +
-				"wall clock (translation-dominated on this suite).",
-			Timestamp: time.Now().UTC().Format(time.RFC3339),
-			Arms:      arms,
-		}); err != nil {
-			b.Fatal(err)
-		}
-		f.Close()
+	}
+	raw, err := json.MarshalIndent(section, "  ", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc[key] = raw
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -1,0 +1,224 @@
+package repro
+
+// Tool-delivery benchmark: the measurement behind batched access delivery.
+// Valgrind tools pay one helper call per instrumented access; Taskgrind's
+// batched mode queues a superblock segment's accesses and enters the tool
+// once per segment. Each arm runs the Table I suite under memcheck (a real
+// consumer of the access stream) and reports how many times the tool was
+// entered per retired guest instruction. `make bench-perf` records the
+// comparison — including the callback-reduction factor, the >= 1.5x
+// acceptance criterion — into the "tool_delivery" section of
+// $PERF_BENCH_OUT. The delivery differential suite proves both arms hand
+// the tool bit-identical access streams, so the comparison is
+// apples-to-apples.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dbi"
+	"repro/internal/drb"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/tools/memcheck"
+)
+
+// deliveryArm is one delivery configuration under measurement.
+type deliveryArm struct {
+	Name     string       `json:"name"`
+	Delivery dbi.Delivery `json:"-"`
+	Mode     string       `json:"mode"`
+
+	Blocks      uint64  `json:"blocks"`
+	Instrs      uint64  `json:"instrs"`
+	DirtyCalls  uint64  `json:"tool_callbacks"`
+	Accesses    uint64  `json:"accesses_delivered"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	CallbacksPerKInstr float64 `json:"callbacks_per_1000_instrs"`
+	AccessesPerBatch   float64 `json:"accesses_per_callback"`
+	InstrsPerSec       float64 `json:"instrs_per_sec"`
+}
+
+// BenchmarkToolDelivery measures per-event vs batched access delivery under
+// memcheck on the Table I suite. The headline figure is tool callbacks per
+// retired instruction: batching must enter the tool at least 1.5x less often
+// for the same access stream.
+func BenchmarkToolDelivery(b *testing.B) {
+	benches := drb.All()
+	images := make([]*guest.Image, len(benches))
+	for i, bench := range benches {
+		im, err := bench.Build().Link()
+		if err != nil {
+			b.Fatal(err)
+		}
+		images[i] = im
+	}
+	const repeats = 3
+
+	arms := []*deliveryArm{
+		{Name: "per-event", Delivery: dbi.DeliverPerEvent},
+		{Name: "batched", Delivery: dbi.DeliverBatched},
+	}
+	done := 0
+	for _, arm := range arms {
+		arm := arm
+		arm.Mode = arm.Delivery.String()
+		b.Run(arm.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < repeats; r++ {
+					for _, im := range images {
+						runtime.GC()
+						inst, err := harness.New(harness.Setup{
+							Image: im, Tool: memcheck.New(), Seed: 1, Threads: 4,
+							Stdout: io.Discard, Engine: dbi.EngineCompiled,
+							Delivery: arm.Delivery,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						res := inst.Run()
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						arm.Blocks += inst.M.BlocksExecuted
+						arm.Instrs += inst.M.InstrsExecuted
+						arm.DirtyCalls += inst.Core.DirtyCalls
+						arm.Accesses += inst.Core.AccessesDelivered
+						arm.WallSeconds += res.Wall.Seconds()
+					}
+				}
+			}
+			arm.CallbacksPerKInstr = 1000 * float64(arm.DirtyCalls) / float64(arm.Instrs)
+			if arm.DirtyCalls > 0 {
+				arm.AccessesPerBatch = float64(arm.Accesses) / float64(arm.DirtyCalls)
+			}
+			arm.InstrsPerSec = float64(arm.Instrs) / arm.WallSeconds
+			b.ReportMetric(arm.CallbacksPerKInstr, "callbacks/kinstr")
+			b.ReportMetric(arm.AccessesPerBatch, "accesses/callback")
+			done++
+		})
+	}
+	if done < len(arms) {
+		return // partial -bench filter: nothing comparable to record
+	}
+	pe, ba := arms[0], arms[1]
+	if pe.Accesses != ba.Accesses {
+		b.Fatalf("delivery arms diverged: per-event delivered %d accesses, batched %d",
+			pe.Accesses, ba.Accesses)
+	}
+	reduction := pe.CallbacksPerKInstr / ba.CallbacksPerKInstr
+	b.Logf("callback reduction: %.2fx (per-event %.1f/kinstr, batched %.1f/kinstr)",
+		reduction, pe.CallbacksPerKInstr, ba.CallbacksPerKInstr)
+	writePerfSection(b, "tool_delivery", struct {
+		Suite             string         `json:"suite"`
+		Tool              string         `json:"tool"`
+		Threads           int            `json:"threads"`
+		Seed              uint64         `json:"seed"`
+		Criterion         string         `json:"criterion"`
+		Timestamp         string         `json:"timestamp"`
+		CallbackReduction float64        `json:"callback_reduction"`
+		Arms              []*deliveryArm `json:"arms"`
+	}{
+		Suite: "table1-drb", Tool: "memcheck", Threads: 4, Seed: 1,
+		Criterion: "callback_reduction compares tool callbacks per retired " +
+			"instruction (per-event / batched); acceptance requires >= 1.5x. " +
+			"Both arms deliver the identical access stream (accesses_delivered " +
+			"is asserted equal); batching only amortizes tool entries.",
+		Timestamp:         time.Now().UTC().Format(time.RFC3339),
+		CallbackReduction: reduction,
+		Arms:              arms,
+	})
+}
+
+// TestHotPerfRegression is the bench smoke for `make check`: gated behind
+// PERF_GUARD=1, it re-measures the compiled engine's hot ns/block on the
+// Table I suite and fails if it regressed more than 20% against the baseline
+// recorded in BENCH_perf.json by `make bench-perf`. Three fresh measurements
+// are taken and the best kept, so transient machine noise cannot fail the
+// gate — only a real slowdown of the hot dispatch path can.
+func TestHotPerfRegression(t *testing.T) {
+	if os.Getenv("PERF_GUARD") != "1" {
+		t.Skip("set PERF_GUARD=1 to run the hot-path regression gate")
+	}
+	path := os.Getenv("PERF_BENCH_OUT")
+	if path == "" {
+		path = "BENCH_perf.json"
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no baseline (run `make bench-perf` first): %v", err)
+	}
+	var doc struct {
+		Engines struct {
+			Arms []struct {
+				Name            string  `json:"name"`
+				HotBlocksPerSec float64 `json:"hot_blocks_per_sec"`
+			} `json:"arms"`
+		} `json:"engines"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	var baselineNsPerBlock float64
+	for _, arm := range doc.Engines.Arms {
+		if arm.Name == "compiled" && arm.HotBlocksPerSec > 0 {
+			baselineNsPerBlock = 1e9 / arm.HotBlocksPerSec
+		}
+	}
+	if baselineNsPerBlock == 0 {
+		t.Fatalf("no compiled-arm baseline in %s (run `make bench-perf`)", path)
+	}
+
+	benches := drb.All()
+	images := make([]*guest.Image, len(benches))
+	for i, bench := range benches {
+		im, err := bench.Build().Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = im
+	}
+	const hotReps = 200
+	measure := func() float64 {
+		var blocks uint64
+		var wall time.Duration
+		for _, im := range images {
+			runtime.GC()
+			inst, err := harness.New(harness.Setup{
+				Image: im, Tool: dbi.NopTool{}, Seed: 1, Threads: 4,
+				Stdout: io.Discard, Engine: dbi.EngineCompiled,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := inst.Run(); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			hb, _, hw := hotReplay(inst, hotReps)
+			blocks += hb
+			wall += hw
+		}
+		if blocks == 0 {
+			t.Fatal("hot replay executed no blocks")
+		}
+		return float64(wall.Nanoseconds()) / float64(blocks)
+	}
+	best := measure()
+	for i := 0; i < 2; i++ {
+		if m := measure(); m < best {
+			best = m
+		}
+	}
+	const tolerance = 1.20
+	t.Logf("hot compiled: %.1f ns/block fresh vs %.1f ns/block baseline (limit %.1f)",
+		best, baselineNsPerBlock, baselineNsPerBlock*tolerance)
+	if best > baselineNsPerBlock*tolerance {
+		t.Errorf("hot compiled dispatch regressed: %.1f ns/block, baseline %.1f ns/block (+%.0f%% > 20%% budget)",
+			best, baselineNsPerBlock, 100*(best/baselineNsPerBlock-1))
+	}
+}
