@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch bench-obs bench-perf bench-perf-smoke perf-guard fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke perf-guard fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
-# focused batched-delivery pass), the fuzzer smoke run, both benchmark smoke
-# runs (BENCH_obs.json; bench-perf-smoke does not overwrite the recorded
-# BENCH_perf.json), and the hot-path regression guard against the recorded
-# baseline.
-check: vet build race race-batch fuzz bench-obs bench-perf-smoke perf-guard
+# focused batched-delivery pass), the replay-determinism gate, the fuzzer
+# smoke run, both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke
+# does not overwrite the recorded BENCH_perf.json), and the hot-path +
+# checkpoint-overhead regression guards against the recorded baseline.
+check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,14 @@ race:
 race-batch:
 	$(GO) test -race -count=1 -run 'TestDelivery|TestGoldenReports|TestProfileExtend|TestPick|TestSoleRunnable|TestSliceLoop' ./internal/dbi ./internal/vm ./internal/tools/golden
 
+# Replay-determinism gate: checkpoint/resume fuzz over the Table I programs
+# on both engines, the supervisor's crash-reproduction and fallback paths,
+# and the CLI's byte-for-byte -replay round trip. Fresh run (-count=1) so
+# the gate never passes on a cached result.
+replay-determinism:
+	$(GO) test -count=1 -run 'TestCheckpointResume|TestSupervisor|TestBisect|TestSupervisedReplay|TestJournal' ./internal/harness ./internal/vm ./internal/snapshot
+	$(GO) test -count=1 -run 'TestReplayToken|TestOnPanicFallback' ./cmd/taskgrind
+
 # Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
 # and the instruction decoder. Go runs one -fuzz package at a time, hence two
 # invocations.
@@ -41,23 +49,24 @@ bench-obs:
 	OBS_BENCH_OUT=BENCH_obs.json $(GO) test -run '^$$' -bench 'BenchmarkObservability' -benchtime 1x .
 
 # Engine comparison on the Table I suite (IR interpreter vs compiled
-# micro-op engine, with and without superblock extension) plus the
-# tool-delivery comparison (per-event vs batched under memcheck); writes the
-# "engines" and "tool_delivery" sections of BENCH_perf.json. Longer
-# -benchtime accumulates more samples and tightens the numbers.
+# micro-op engine, with and without superblock extension), the
+# tool-delivery comparison (per-event vs batched under memcheck), and the
+# checkpoint/journal overhead arms; writes the "engines", "tool_delivery"
+# and "robustness" sections of BENCH_perf.json. Longer -benchtime
+# accumulates more samples and tightens the numbers.
 bench-perf:
-	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery' -benchtime 10x .
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness' -benchtime 10x .
 
 # Smoke run for the gate: exercises every arm once, no JSON output.
 bench-perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness' -benchtime 1x .
 
-# Hot-path regression guard: re-measures the compiled engine's hot ns/block
-# and fails if it regressed >20% against the baseline recorded in
-# BENCH_perf.json by `make bench-perf` (best-of-3, so only a real slowdown
-# trips it).
+# Regression guards: re-measures the compiled engine's hot ns/block (fails
+# on >20% regression) and the ckpt-16 checkpoint overhead ratio (fails at
+# 1.5x the recorded ratio) against the baseline recorded in BENCH_perf.json
+# by `make bench-perf` (best-of-3, so only a real slowdown trips either).
 perf-guard:
-	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression' .
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/lulesh"
 	"repro/internal/obs"
 	"repro/internal/omp"
+	"repro/internal/snapshot"
 	"repro/internal/tools/archer"
 	"repro/internal/tools/memcheck"
 	"repro/internal/tools/romp"
@@ -61,8 +64,12 @@ func main() {
 		maxInstrs  = flag.Uint64("max-instrs", 0, "watchdog: abort after N guest instructions (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "watchdog: abort after this wall-clock time (0 = unlimited)")
 		lenientMem = flag.Bool("lenient-mem", false, "disable the strict guest memory model (wild accesses allocate silently)")
-		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched)")
+		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched, panic)")
 		injectSeed = flag.Uint64("inject-seed", 1, "fault injection seed (phases the -inject firing patterns)")
+		// Recovery knobs: replay tokens, checkpointing, panic fallback.
+		replayTok    = flag.String("replay", "", "re-run the configuration encoded in a crash report's replay token (tg1:...); overrides the program/tool/seed flags")
+		onPanic      = flag.String("on-panic", "report", "host panic reaction: report (contain + render), fallback (rewind and re-execute under the IR oracle)")
+		ckptInterval = flag.Int("ckpt-interval", 0, "capture a guest checkpoint every N timeslices (0 = off; -on-panic=fallback defaults to 16)")
 		// LULESH knobs.
 		s    = flag.Int("s", 8, "lulesh: mesh size")
 		tel  = flag.Int("tel", 4, "lulesh: tasks per element loop")
@@ -82,6 +89,42 @@ func main() {
 		return
 	}
 
+	if *onPanic != "report" && *onPanic != "fallback" {
+		fatal(fmt.Errorf("unknown -on-panic %q (report, fallback)", *onPanic))
+	}
+	// A replay token is the complete run configuration; decoding it turns
+	// this invocation into a byte-for-byte re-run of the crashed one.
+	sliceLen := 0
+	if *replayTok != "" {
+		cfg, perr := snapshot.ParseToken(*replayTok)
+		if perr != nil {
+			fatal(perr)
+		}
+		if cfg.Prog != "" {
+			*prog = cfg.Prog
+		}
+		if cfg.Tool != "" {
+			*tool = cfg.Tool
+		}
+		if cfg.Seed != 0 {
+			*seed = cfg.Seed
+		}
+		if cfg.Threads != 0 {
+			*threads = cfg.Threads
+		}
+		if cfg.Delivery != "" {
+			*delivery = cfg.Delivery
+		}
+		*engine, *extend = cfg.Engine, cfg.Extend
+		*inject, *injectSeed = cfg.Inject, cfg.InjectSeed
+		*lenientMem = cfg.Lenient
+		sliceLen = cfg.Slice
+		if cfg.Prog == "lulesh" {
+			*s, *iter, *tel, *tnl, *racy = cfg.LSize, cfg.LIters, cfg.LTasksEl, cfg.LTasksNd, cfg.LRacy
+		}
+		*asmFile = ""
+	}
+
 	var b *gbuild.Builder
 	var err error
 	if *asmFile != "" {
@@ -96,70 +139,143 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tl, count, err := toolreg.Make(*tool)
-	if err != nil {
-		fatal(err)
-	}
-	var rec *trace.Recorder
-	if *gantt {
-		rec = trace.New()
-		if tl != nil {
-			tl = trace.Tee{A: tl, B: rec}
-		} else {
-			tl = rec
-		}
-	}
-	// Assemble the observability hooks. Nil hooks keep every instrumented
-	// hot path on its one-pointer-compare fast path.
-	var (
-		hooks  *obs.Hooks
-		reg    *obs.Registry
-		tracer *obs.Tracer
-		prof   *obs.Profiler
-		traceF *os.File
-	)
-	if *verbose || *metricsFile != "" || *traceOut != "" || *profileFile != "" {
-		hooks = &obs.Hooks{}
-		if *verbose || *metricsFile != "" {
-			reg = obs.NewRegistry()
-			hooks.Metrics = reg
-		}
-		if *traceOut != "" {
-			f, cerr := os.Create(*traceOut)
-			if cerr != nil {
-				fatal(cerr)
-			}
-			traceF = f
-			tracer = obs.NewTracer(obs.NewChromeSink(f))
-			tracer.BlockEvents = *traceBlocks
-			hooks.Tracer = tracer
-		}
-		if *profileFile != "" {
-			prof = obs.NewProfiler(*profileEvery)
-			hooks.Prof = prof
-		}
-	}
-	injector, err := faultinject.ParseSpec(*inject, *injectSeed)
-	if err != nil {
-		fatal(err)
+	if _, _, terr := toolreg.Make(*tool); terr != nil {
+		fatal(terr)
 	}
 	deliv, ok := dbi.ParseDelivery(*delivery)
 	if !ok {
 		fatal(fmt.Errorf("unknown -delivery %q (batched, per-event)", *delivery))
 	}
-	start := time.Now()
-	res, inst, err := harness.BuildAndRun(b, harness.Setup{
-		Tool: tl, Seed: *seed, Threads: *threads, Stdout: os.Stdout, Obs: hooks,
-		Inject:     injector,
-		LenientMem: *lenientMem,
-		Engine:     *engine,
-		Extend:     *extend,
-		Delivery:   deliv,
-		RunOpts:    vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
-	})
+	if _, perr := faultinject.ParseSpec(*inject, *injectSeed); perr != nil {
+		fatal(perr)
+	}
+	// Every run carries its replay token: the configuration is the recipe,
+	// and the run is a pure function of it. Crash reports print the token so
+	// `taskgrind -replay <token>` reproduces them byte for byte. Assembled
+	// sources have no program name to encode, so -asm runs carry none.
+	var token string
+	if *asmFile == "" {
+		cfg := snapshot.Config{
+			Prog: *prog, Tool: *tool, Seed: *seed, Threads: *threads, Slice: sliceLen,
+			Engine: *engine, Delivery: *delivery, Extend: *extend,
+			Inject: *inject, Lenient: *lenientMem,
+		}
+		if *inject != "" {
+			cfg.InjectSeed = *injectSeed
+		}
+		if *prog == "lulesh" {
+			cfg.LSize, cfg.LIters, cfg.LTasksEl, cfg.LTasksNd, cfg.LRacy = *s, *iter, *tel, *tnl, *racy
+		}
+		token = cfg.Token()
+	}
+	im, err := b.Link()
 	if err != nil {
 		fatal(err)
 	}
+	// makeSetup assembles one attempt's configuration. Under
+	// -on-panic=fallback the supervisor may build several attempts (record,
+	// replay, IR fallback); tool, injector and observability sinks are all
+	// stateful, so each attempt gets fresh ones and the captured variables
+	// track the latest — the attempt whose results survive.
+	var (
+		tl     dbi.Tool
+		count  func() int
+		rec    *trace.Recorder
+		hooks  *obs.Hooks
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		prof   *obs.Profiler
+		traceF *os.File
+		inj    *faultinject.Injector
+		outBuf *bytes.Buffer
+	)
+	makeSetup := func() harness.Setup {
+		tl, count, err = toolreg.Make(*tool)
+		if err != nil {
+			fatal(err)
+		}
+		rec = nil
+		if *gantt {
+			rec = trace.New()
+			if tl != nil {
+				tl = trace.Tee{A: tl, B: rec}
+			} else {
+				tl = rec
+			}
+		}
+		// Assemble the observability hooks. Nil hooks keep every
+		// instrumented hot path on its one-pointer-compare fast path.
+		hooks, reg, tracer, prof = nil, nil, nil, nil
+		if *verbose || *metricsFile != "" || *traceOut != "" || *profileFile != "" {
+			hooks = &obs.Hooks{}
+			if *verbose || *metricsFile != "" {
+				reg = obs.NewRegistry()
+				hooks.Metrics = reg
+			}
+			if *traceOut != "" {
+				f, cerr := os.Create(*traceOut)
+				if cerr != nil {
+					fatal(cerr)
+				}
+				traceF = f
+				tracer = obs.NewTracer(obs.NewChromeSink(f))
+				tracer.BlockEvents = *traceBlocks
+				hooks.Tracer = tracer
+			}
+			if *profileFile != "" {
+				prof = obs.NewProfiler(*profileEvery)
+				hooks.Prof = prof
+			}
+		}
+		inj, _ = faultinject.ParseSpec(*inject, *injectSeed)
+		var w io.Writer = os.Stdout
+		if *onPanic == "fallback" {
+			// Buffer guest output per attempt so a rewound re-execution
+			// does not print the pre-panic prefix twice.
+			outBuf = &bytes.Buffer{}
+			w = outBuf
+		}
+		return harness.Setup{
+			Image: im, Tool: tl, Seed: *seed, Threads: *threads, Stdout: w, Obs: hooks,
+			Slice:       sliceLen,
+			Inject:      inj,
+			LenientMem:  *lenientMem,
+			Engine:      *engine,
+			Extend:      *extend,
+			Delivery:    deliv,
+			CkptEvery:   *ckptInterval,
+			ReplayToken: token,
+			RunOpts:     vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
+		}
+	}
+	start := time.Now()
+	var res harness.Result
+	var inst *harness.Instance
+	if *onPanic == "fallback" {
+		sup, serr := harness.Supervise(makeSetup, harness.SuperviseOpts{
+			OnPanic: harness.OnPanicFallback, CkptEvery: *ckptInterval, Token: token,
+		})
+		if serr != nil {
+			fatal(serr)
+		}
+		res, inst = sup.Result, sup.Inst
+		os.Stdout.Write(outBuf.Bytes())
+		if sup.FellBack {
+			fmt.Fprintf(os.Stderr, "==taskgrind== host panic contained at slice window [%d,%d]: re-executed under the IR oracle\n",
+				sup.Window[0], sup.Window[1])
+		}
+		if sup.Taxonomy == harness.TaxDivergence {
+			fmt.Fprintf(os.Stderr, "==taskgrind== engine divergence in slice window [%d,%d] (journal-verified)\n",
+				sup.Window[0], sup.Window[1])
+		}
+	} else {
+		inst, err = harness.New(makeSetup())
+		if err != nil {
+			fatal(err)
+		}
+		res = inst.Run()
+	}
+	injector := inj
 	if res.Crash != nil {
 		// A contained guest failure (invalid access, runaway watchdog,
 		// deadlock, host panic): render the Valgrind-style report,

@@ -124,6 +124,9 @@ func (e *compiledEngine) RunBlock(m *vm.Machine, t *vm.Thread) (res vm.RunResult
 	if t.PC == vm.ThreadExitAddr {
 		return m.ExitThread(t), nil
 	}
+	if e.c.PanicHook != nil && e.c.PanicHook() {
+		panic(&vm.EnginePanic{PC: t.PC, Val: "injected engine defect (compiled)"})
+	}
 	// Drop the previous block's fault context before the lookup so a panic
 	// during translation is not misattributed to stale state.
 	e.cur = nil

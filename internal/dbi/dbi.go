@@ -151,6 +151,13 @@ type Core struct {
 	allocs   []*AllocBlock
 	allocSeq uint64
 
+	// PanicHook, when set, is consulted once per compiled-engine block
+	// dispatch; returning true raises a host-side panic from inside the
+	// dispatcher (fault injection's model of a JIT defect). The IR oracle
+	// never consults it, so an engine fallback sidesteps the injected
+	// defect.
+	PanicHook func() bool
+
 	// Validate makes the engine validate every instrumented block
 	// (debug mode).
 	Validate bool

@@ -19,16 +19,38 @@ import (
 	"repro/internal/tools/toolreg"
 )
 
+// Failure describes one quarantined seed: a schedule whose run crashed,
+// hung or diverged. The sweep continues past it — a single bad interleaving
+// must not cost the other N-1 data points.
+type Failure struct {
+	// Seed is the scheduler seed that failed.
+	Seed int
+	// Kind classifies the failure (the harness.Tax* taxonomy: "fault",
+	// "panic", "timeout", "deadlock", "divergence", "error").
+	Kind string
+	// Err is the failure's rendered error.
+	Err string
+	// Reproduced reports that a supervised sweep replayed the crash
+	// bit-identically before reporting it as real (RunSupervised only).
+	Reproduced bool
+}
+
 // Outcome aggregates one (program, tool) exploration.
 type Outcome struct {
 	Tool  string
 	Seeds int
-	// Counts holds the per-seed report counts, indexed like the seeds.
+	// Counts holds the per-seed report counts, indexed like the seeds
+	// (zero for quarantined seeds).
 	Counts []int
-	// Min/Max/Distinct summarize schedule sensitivity.
+	// Failed lists the seeds that were quarantined, in seed order.
+	Failed []int
+	// Failures carries the quarantined seeds' taxonomy, parallel to Failed.
+	Failures []Failure
+	// Min/Max/Distinct summarize schedule sensitivity over surviving seeds.
 	Min, Max int
 	Distinct int
-	// DetectionRate is the fraction of seeds with at least one report.
+	// DetectionRate is the fraction of surviving seeds with at least one
+	// report.
 	DetectionRate float64
 }
 
@@ -37,22 +59,31 @@ func (o Outcome) Stable() bool { return o.Distinct <= 1 }
 
 // String renders a Table-II-style range.
 func (o Outcome) String() string {
+	var s string
 	if o.Min == o.Max {
-		return fmt.Sprintf("%s: %d report(s) across %d schedules (stable)", o.Tool, o.Min, o.Seeds)
+		s = fmt.Sprintf("%s: %d report(s) across %d schedules (stable)", o.Tool, o.Min, o.Seeds)
+	} else {
+		s = fmt.Sprintf("%s: %d to %d report(s) across %d schedules (%d distinct, %.0f%% detecting)",
+			o.Tool, o.Min, o.Max, o.Seeds, o.Distinct, o.DetectionRate*100)
 	}
-	return fmt.Sprintf("%s: %d to %d report(s) across %d schedules (%d distinct, %.0f%% detecting)",
-		o.Tool, o.Min, o.Max, o.Seeds, o.Distinct, o.DetectionRate*100)
+	if len(o.Failed) > 0 {
+		s += fmt.Sprintf(" [%d seed(s) quarantined]", len(o.Failed))
+	}
+	return s
 }
 
 // Run explores nseeds schedules (seeds 1..n) with up to workers concurrent
 // machines. build must return a fresh builder per call (builders are
-// single-link).
+// single-link). Crashing, hung or otherwise failing seeds are quarantined
+// into Outcome.Failed/Failures rather than aborting the sweep; only setup
+// errors (unknown tool, unbuildable program) fail the whole call.
 func Run(build func() *gbuild.Builder, tool string, threads, nseeds, workers int) (Outcome, error) {
 	if workers <= 0 {
 		workers = 4
 	}
 	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
 	errs := make([]error, nseeds)
+	fails := make([]*Failure, nseeds)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i := 0; i < nseeds; i++ {
@@ -74,7 +105,7 @@ func Run(build func() *gbuild.Builder, tool string, threads, nseeds, workers int
 				return
 			}
 			if res.Err != nil {
-				errs[i] = res.Err
+				fails[i] = &Failure{Seed: i + 1, Kind: harness.Classify(res.Err), Err: res.Err.Error()}
 				return
 			}
 			out.Counts[i] = count()
@@ -86,18 +117,101 @@ func Run(build func() *gbuild.Builder, tool string, threads, nseeds, workers int
 			return out, err
 		}
 	}
-	sorted := append([]int(nil), out.Counts...)
+	out.finish(fails)
+	return out, nil
+}
+
+// finish folds per-seed failures into the outcome and computes the summary
+// statistics over the surviving seeds.
+func (o *Outcome) finish(fails []*Failure) {
+	survivors := make([]int, 0, len(o.Counts))
+	for i, f := range fails {
+		if f != nil {
+			o.Failed = append(o.Failed, f.Seed)
+			o.Failures = append(o.Failures, *f)
+			continue
+		}
+		survivors = append(survivors, o.Counts[i])
+	}
+	if len(survivors) == 0 {
+		return
+	}
+	sorted := append([]int(nil), survivors...)
 	sort.Ints(sorted)
-	out.Min, out.Max = sorted[0], sorted[len(sorted)-1]
+	o.Min, o.Max = sorted[0], sorted[len(sorted)-1]
 	distinct := map[int]bool{}
 	detecting := 0
-	for _, c := range out.Counts {
+	for _, c := range survivors {
 		distinct[c] = true
 		if c > 0 {
 			detecting++
 		}
 	}
-	out.Distinct = len(distinct)
-	out.DetectionRate = float64(detecting) / float64(nseeds)
+	o.Distinct = len(distinct)
+	o.DetectionRate = float64(detecting) / float64(len(survivors))
+}
+
+// RunSupervised explores like Run but drives every seed through the recovery
+// supervisor: each run records a decision journal, crashes must reproduce
+// once under journal-verified replay before they are reported as real
+// (Failure.Reproduced), and — with opts.OnPanic set to OnPanicFallback —
+// host-side engine defects degrade to the IR oracle instead of costing the
+// data point. opts.VerifyCrash is forced on.
+func RunSupervised(build func() *gbuild.Builder, tool string, threads, nseeds, workers int, opts harness.SuperviseOpts) (Outcome, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	// Validate the tool name once, up front: the per-attempt factory below
+	// has no error path.
+	if _, _, err := toolreg.Make(tool); err != nil {
+		return Outcome{Tool: tool, Seeds: nseeds}, err
+	}
+	opts.VerifyCrash = true
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	errs := make([]error, nseeds)
+	fails := make([]*Failure, nseeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < nseeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Attempts within one seed share the linked image (builders
+			// are single-link); each attempt gets a fresh tool instance.
+			im, err := build().Link()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var count func() int
+			factory := func() harness.Setup {
+				tl, c, _ := toolreg.Make(tool)
+				count = c
+				return harness.Setup{Image: im, Tool: tl, Seed: uint64(i + 1), Threads: threads}
+			}
+			sup, err := harness.Supervise(factory, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if sup.Err != nil {
+				fails[i] = &Failure{Seed: i + 1, Kind: sup.Taxonomy,
+					Err: sup.Err.Error(), Reproduced: sup.Reproduced}
+				return
+			}
+			// count is bound to the last-built attempt's tool — the
+			// surviving instance (the fallback's when the run degraded).
+			out.Counts[i] = count()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	out.finish(fails)
 	return out, nil
 }

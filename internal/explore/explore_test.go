@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/gbuild"
+	"repro/internal/harness"
 	"repro/internal/lulesh"
 	"repro/internal/omp"
 	"repro/internal/ompt"
@@ -110,5 +111,117 @@ func TestParallelWorkersMatchSerial(t *testing.T) {
 func TestBadToolPropagates(t *testing.T) {
 	if _, err := explore.Run(racyLulesh, "nonesuch", 4, 2, 2); err == nil {
 		t.Fatal("unknown tool accepted")
+	}
+	if _, err := explore.RunSupervised(racyLulesh, "nonesuch", 4, 2, 2, harness.SuperviseOpts{}); err == nil {
+		t.Fatal("unknown tool accepted by supervised sweep")
+	}
+}
+
+// crasherProgram races an "init" task that publishes a valid pointer against
+// a "deref" task that stores through it: schedules where the thief runs
+// deref before init's store take a wild store through NULL. Whether a given
+// seed crashes depends purely on the task pickup order.
+func crasherProgram() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("g", 16) // g[0]: pointer slot (zero-init), g[8]: valid target
+	f := b.Func("init", "crash.c")
+	f.Line(5)
+	// Filler work widens the racing window before the publishing store.
+	for j := 0; j < 3; j++ {
+		f.LoadSym(1, "g")
+		f.Ld(8, 2, 1, 8)
+		f.Addi(2, 2, 1)
+		f.St(8, 1, 8, 2)
+	}
+	f.LoadSym(1, "g")
+	f.Addi(2, 1, 8)
+	f.St(8, 1, 0, 2) // g[0] = &g[8]
+	f.Ret()
+	f = b.Func("deref", "crash.c")
+	f.Line(12)
+	f.LoadSym(1, "g")
+	f.Ld(8, 2, 1, 0) // r2 = g[0]
+	f.Ldi(3, 7)
+	f.St(8, 2, 0, 3) // *r2 = 7 — wild when init has not published yet
+	f.Ret()
+	f = b.Func("micro", "crash.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "init"})
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "deref"})
+		omp.Taskwait(fn)
+	})
+	f.Leave()
+	f = b.Func("main", "crash.c")
+	f.Enter(0)
+	f.Ldi(1, 0)
+	omp.Parallel(f, "micro", 1, 4)
+	f.Ldi(0, 0)
+	f.Hlt(0)
+	return b
+}
+
+// TestQuarantineKeepsSweepAlive: a schedule-dependent crasher quarantines
+// its bad seeds with a taxonomy instead of aborting the sweep.
+func TestQuarantineKeepsSweepAlive(t *testing.T) {
+	out, err := explore.Run(crasherProgram, "taskgrind", 4, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failed) == 0 {
+		t.Fatal("no seed crashed: the crasher is not racing")
+	}
+	if len(out.Failed) == out.Seeds {
+		t.Fatalf("every seed crashed: not schedule-dependent (%v)", out.Failed)
+	}
+	if len(out.Failed) != len(out.Failures) {
+		t.Fatalf("Failed/Failures out of sync: %v vs %v", out.Failed, out.Failures)
+	}
+	for _, f := range out.Failures {
+		if f.Kind != harness.TaxFault {
+			t.Errorf("seed %d: taxonomy %q, want %q (%s)", f.Seed, f.Kind, harness.TaxFault, f.Err)
+		}
+	}
+	if !strings.Contains(out.String(), "quarantined") {
+		t.Errorf("summary omits quarantine: %s", out)
+	}
+}
+
+// TestSupervisedSweepVerifiesCrashes: under RunSupervised every quarantined
+// crash must have reproduced bit-identically before being reported, and the
+// surviving seeds must agree with the plain sweep.
+func TestSupervisedSweepVerifiesCrashes(t *testing.T) {
+	sup, err := explore.RunSupervised(crasherProgram, "taskgrind", 4, 8, 4, harness.SuperviseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup.Failed) == 0 || len(sup.Failed) == sup.Seeds {
+		t.Fatalf("want a mix of crashing and surviving seeds, got failed=%v", sup.Failed)
+	}
+	for _, f := range sup.Failures {
+		if f.Kind != harness.TaxFault {
+			t.Errorf("seed %d: taxonomy %q, want %q", f.Seed, f.Kind, harness.TaxFault)
+		}
+		if !f.Reproduced {
+			t.Errorf("seed %d: crash did not reproduce under verified replay", f.Seed)
+		}
+	}
+	plain, err := explore.Run(crasherProgram, "taskgrind", 4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Failed) != len(sup.Failed) {
+		t.Fatalf("supervision changed which seeds fail: %v vs %v", sup.Failed, plain.Failed)
+	}
+	for i := range plain.Failed {
+		if plain.Failed[i] != sup.Failed[i] {
+			t.Fatalf("supervision changed which seeds fail: %v vs %v", sup.Failed, plain.Failed)
+		}
+	}
+	for i := range plain.Counts {
+		if plain.Counts[i] != sup.Counts[i] {
+			t.Fatalf("supervision changed surviving counts: %v vs %v", sup.Counts, plain.Counts)
+		}
 	}
 }

@@ -31,11 +31,17 @@ const (
 	// SchedPerturb shrinks a scheduler timeslice to a single block, forcing
 	// extra preemption points.
 	SchedPerturb
+	// EnginePanic raises a host-side panic from inside the compiled
+	// engine's block dispatch — a model of a JIT defect. Only the compiled
+	// engine consults this kind, so falling back to the IR oracle
+	// naturally sidesteps the injected defect (the graceful-degradation
+	// acceptance path).
+	EnginePanic
 	numKinds
 )
 
 // Kinds lists every kind (tests iterate it).
-var Kinds = []Kind{HeapAlloc, PoolAlloc, StealDeny, SchedPerturb}
+var Kinds = []Kind{HeapAlloc, PoolAlloc, StealDeny, SchedPerturb, EnginePanic}
 
 // String returns the spec name of the kind.
 func (k Kind) String() string {
@@ -48,6 +54,8 @@ func (k Kind) String() string {
 		return "steal"
 	case SchedPerturb:
 		return "sched"
+	case EnginePanic:
+		return "panic"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -79,6 +87,11 @@ type site struct {
 type Injector struct {
 	seed  uint64
 	sites [numKinds]site
+
+	// Observe, when set, taps every decision as it is drawn (fired or
+	// not) — the hook the replay journal records injection streams
+	// through.
+	Observe func(kind Kind, fired bool)
 }
 
 // New creates an injector with no kinds enabled.
@@ -104,7 +117,7 @@ func (in *Injector) Enable(kind Kind, every uint64) {
 	s := &in.sites[kind]
 	s.every = every
 	if every > 0 {
-		s.offset = splitmix64(in.seed ^ uint64(kind)*0x9e3779b97f4a7c15) % every
+		s.offset = splitmix64(in.seed^uint64(kind)*0x9e3779b97f4a7c15) % every
 	}
 }
 
@@ -122,6 +135,9 @@ func (in *Injector) Fire(kind Kind) bool {
 	s.seen++
 	if hit {
 		s.fired++
+	}
+	if in.Observe != nil {
+		in.Observe(kind, hit)
 	}
 	return hit
 }
@@ -174,7 +190,7 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		}
 		kind, ok := kindFromName(strings.TrimSpace(name))
 		if !ok {
-			return nil, fmt.Errorf("faultinject: unknown kind %q (have heap, pool, steal, sched)", name)
+			return nil, fmt.Errorf("faultinject: unknown kind %q (have heap, pool, steal, sched, panic)", name)
 		}
 		every, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
 		if err != nil || every == 0 {

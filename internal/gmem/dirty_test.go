@@ -1,0 +1,122 @@
+package gmem
+
+import "testing"
+
+func TestDirtyTrackingOffByDefault(t *testing.T) {
+	m := New()
+	m.Store(0x1000, 8, 42)
+	if m.DirtyTracking() || m.Gen() != 0 {
+		t.Fatal("tracking on without EnableDirtyTracking")
+	}
+	if pages := m.CutGeneration(); pages != nil {
+		t.Fatalf("cut with tracking off returned %d pages", len(pages))
+	}
+}
+
+func TestDirtyCutCapturesWrites(t *testing.T) {
+	m := New()
+	m.Store(0x1000, 8, 1) // resident before enabling
+	m.EnableDirtyTracking()
+
+	// First cut: the pre-enable resident page counts as dirty.
+	pages := m.CutGeneration()
+	if len(pages) != 1 || pages[0].Idx != 0x1000>>12 {
+		t.Fatalf("boot cut = %+v", pages)
+	}
+
+	// Nothing written: empty delta.
+	if pages := m.CutGeneration(); len(pages) != 0 {
+		t.Fatalf("idle cut = %d pages", len(pages))
+	}
+
+	m.Store(0x5008, 4, 7)
+	m.Store(0x5010, 8, 9)  // same page: one dump
+	m.Store(0x20000, 1, 3) // second page
+	pages = m.CutGeneration()
+	if len(pages) != 2 {
+		t.Fatalf("delta = %d pages, want 2", len(pages))
+	}
+	if pages[0].Idx != 0x5000>>12 || pages[1].Idx != 0x20000>>12 {
+		t.Fatalf("delta pages = %d, %d", pages[0].Idx, pages[1].Idx)
+	}
+	if got := uint64(pages[0].Data[0x10]); got != 9 {
+		t.Fatalf("dump content = %d", got)
+	}
+	// A load alone must not dirty anything.
+	m.Load(0x5008, 4)
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("load dirtied %d pages", n)
+	}
+}
+
+func TestDirtyStraddleMarksBothPages(t *testing.T) {
+	m := New()
+	m.EnableDirtyTracking()
+	m.CutGeneration()
+	m.Store(0x1FFC, 8, ^uint64(0)) // straddles pages 1 and 2
+	pages := m.CutGeneration()
+	if len(pages) != 2 {
+		t.Fatalf("straddling store dirtied %d pages, want 2", len(pages))
+	}
+}
+
+func TestDirtyHostWritersMark(t *testing.T) {
+	m := New()
+	m.EnableDirtyTracking()
+	m.CutGeneration()
+	m.WriteBytes(0x3000, []byte{1, 2, 3})
+	m.Zero(0x7000, 16)
+	m.Copy(0x9000, 0x3000, 3)
+	pages := m.CutGeneration()
+	if len(pages) != 3 {
+		t.Fatalf("host writers dirtied %d pages, want 3", len(pages))
+	}
+}
+
+func TestWritePagesRestoresContent(t *testing.T) {
+	m := New()
+	m.EnableDirtyTracking()
+	m.Store(0x4000, 8, 0xdead)
+	snap := m.CutGeneration()
+	m.Store(0x4000, 8, 0xbeef)
+	m.WritePages(snap)
+	if got := m.Load(0x4000, 8); got != 0xdead {
+		t.Fatalf("restored value = %#x", got)
+	}
+	// The restore itself must appear in the next cut (the rewound state
+	// differs from the abandoned timeline).
+	if pages := m.CutGeneration(); len(pages) != 1 {
+		t.Fatalf("restore not re-dirtied: %d pages", len(pages))
+	}
+}
+
+func TestAllPagesAndHashAgree(t *testing.T) {
+	a, b := New(), New()
+	a.Store(0x1000, 8, 77)
+	a.Store(0x88000, 4, 5)
+	b.WritePages(a.AllPages())
+	if a.Hash() != b.Hash() {
+		t.Fatal("AllPages transplant changed the content hash")
+	}
+}
+
+func TestSetRegionsRoundTrip(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x1000, PermR)
+	m.Map(0x4000, 0x2000, PermRW)
+	saved := m.Regions()
+	m.Map(0x8000, 0x1000, PermRW)
+	m.SetRegions(saved)
+	got := m.Regions()
+	if len(got) != len(saved) {
+		t.Fatalf("regions = %+v, want %+v", got, saved)
+	}
+	for i := range got {
+		if got[i] != saved[i] {
+			t.Fatalf("region %d = %+v, want %+v", i, got[i], saved[i])
+		}
+	}
+	if m.PermAt(0x8000) != PermNone {
+		t.Fatal("restored map still has the later mapping")
+	}
+}

@@ -50,6 +50,15 @@ type Memory struct {
 	// check (single-threaded access only, like the rest of Memory).
 	regions    []Region
 	lastRegion int
+
+	// Dirty tracking (see dirty.go). trackGen is the current generation (0
+	// = tracking off); pageGen stamps each page with the generation of its
+	// last write; dirtyIdx/dirtyGen cache the last stamped page so runs of
+	// same-page stores skip the map write.
+	trackGen uint64
+	pageGen  map[uint64]uint64
+	dirtyIdx uint64
+	dirtyGen uint64
 }
 
 // New creates an empty address space (lenient: no regions, Strict off).
@@ -123,6 +132,9 @@ func (m *Memory) Store(addr uint64, width uint8, val uint64) {
 	if m.Strict {
 		m.check(addr, width, AccessWrite)
 	}
+	if m.trackGen != 0 {
+		m.markDirty(addr >> pageShift)
+	}
 	off := addr & pageMask
 	if off+uint64(width) <= PageSize {
 		p := m.page(addr)
@@ -140,6 +152,10 @@ func (m *Memory) Store(addr uint64, width uint8, val uint64) {
 		}
 		return
 	}
+	if m.trackGen != 0 {
+		// Page-straddling store: the pre-check marked the first page only.
+		m.markDirty((addr + uint64(width) - 1) >> pageShift)
+	}
 	for i := uint8(0); i < width; i++ {
 		m.page(addr + uint64(i))[(addr+uint64(i))&pageMask] = byte(val >> (8 * i))
 	}
@@ -149,6 +165,9 @@ func (m *Memory) Store(addr uint64, width uint8, val uint64) {
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
 	for len(b) > 0 {
 		p := m.page(addr)
+		if m.trackGen != 0 {
+			m.markDirty(addr >> pageShift)
+		}
 		off := addr & pageMask
 		n := copy(p[off:], b)
 		b = b[n:]
@@ -185,6 +204,9 @@ func (m *Memory) ReadCString(addr uint64) string {
 func (m *Memory) Zero(addr uint64, n uint64) {
 	for i := uint64(0); i < n; {
 		p := m.page(addr + i)
+		if m.trackGen != 0 {
+			m.markDirty((addr + i) >> pageShift)
+		}
 		off := (addr + i) & pageMask
 		span := PageSize - off
 		if span > n-i {

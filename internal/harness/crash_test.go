@@ -102,37 +102,109 @@ func TestLenientMemCompatFlag(t *testing.T) {
 // structured contained error.
 func TestFaultInjectionGracefulDegradation(t *testing.T) {
 	kinds := append([]faultinject.Kind(nil), faultinject.Kinds...)
-	engines := []string{"direct", "instrumented"}
+	type variant struct{ engine, delivery string }
+	// The instrumented leg runs the full engine × delivery matrix; the
+	// direct (uninstrumented) leg has no tool and therefore no matrix.
+	variants := []variant{
+		{dbi.EngineIR, "per-event"},
+		{dbi.EngineIR, "batched"},
+		{dbi.EngineCompiled, "per-event"},
+		{dbi.EngineCompiled, "batched"},
+	}
+	// outcome renders everything observable about a run: the structured
+	// error, the symbolized crash report, and the tool's reports.
+	outcome := func(res harness.Result, inst *harness.Instance) string {
+		var sb strings.Builder
+		if res.Err != nil {
+			sb.WriteString(res.Err.Error())
+		}
+		sb.WriteString("|")
+		if res.Crash != nil {
+			sb.WriteString(res.Crash.Render(inst.M.Image))
+		}
+		sb.WriteString("|")
+		if tg, ok := inst.Core.Tool().(*core.Taskgrind); ok {
+			sb.WriteString(tg.Reports.String())
+		}
+		return sb.String()
+	}
 	for _, kind := range kinds {
 		for _, every := range []uint64{1, 3} {
-			for _, engine := range engines {
-				name := fmt.Sprintf("%s-every%d-%s", kind, every, engine)
-				t.Run(name, func(t *testing.T) {
+			t.Run(fmt.Sprintf("%s-every%d-direct", kind, every), func(t *testing.T) {
+				in := faultinject.New(7)
+				in.Enable(kind, every)
+				res, _, err := harness.BuildAndRun(randTaskProgram(11), harness.Setup{
+					Seed: 2, Threads: 4, Inject: in,
+					// Budget so an injection-induced livelock turns into
+					// a watchdog report instead of hanging the test.
+					RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil && res.Crash == nil {
+					t.Fatalf("unstructured failure: %v", res.Err)
+				}
+				if kind == faultinject.PoolAlloc && in.Seen(kind) == 0 {
+					t.Fatal("pool injection never consulted")
+				}
+			})
+			// Subtests run sequentially, so the map is complete before the
+			// cross-variant comparisons below.
+			sigs := map[variant]string{}
+			for _, v := range variants {
+				v := v
+				t.Run(fmt.Sprintf("%s-every%d-%s-%s", kind, every, v.engine, v.delivery), func(t *testing.T) {
 					in := faultinject.New(7)
 					in.Enable(kind, every)
-					setup := harness.Setup{
+					deliv, ok := dbi.ParseDelivery(v.delivery)
+					if !ok {
+						t.Fatalf("bad delivery %q", v.delivery)
+					}
+					res, inst, err := harness.BuildAndRun(randTaskProgram(11), harness.Setup{
 						Seed: 2, Threads: 4, Inject: in,
-						// Budget so an injection-induced livelock turns into
-						// a watchdog report instead of hanging the test.
+						Tool: core.New(core.Options{}), Engine: v.engine, Delivery: deliv,
 						RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
-					}
-					if engine == "instrumented" {
-						setup.Tool = core.New(core.Options{})
-					}
-					res, inst, err := harness.BuildAndRun(randTaskProgram(11), setup)
+					})
 					if err != nil {
 						t.Fatal(err)
 					}
 					if res.Err != nil && res.Crash == nil {
 						t.Fatalf("unstructured failure: %v", res.Err)
 					}
-					// The injector must actually have been consulted for the
-					// kinds this program exercises.
 					if kind == faultinject.PoolAlloc && in.Seen(kind) == 0 {
 						t.Fatal("pool injection never consulted")
 					}
-					_ = inst
+					// The engine-defect kind only exists on the compiled
+					// engine's dispatch path; the IR oracle must never draw
+					// from it, and the compiled engine must.
+					if kind == faultinject.EnginePanic {
+						if v.engine == dbi.EngineIR && in.Seen(kind) != 0 {
+							t.Fatalf("IR engine consulted the panic stream %d times", in.Seen(kind))
+						}
+						if v.engine == dbi.EngineCompiled && in.Seen(kind) == 0 {
+							t.Fatal("compiled engine never consulted the panic stream")
+						}
+					}
+					sigs[v] = outcome(res, inst)
 				})
+			}
+			// Reports are bit-identical across delivery modes for every
+			// kind, and across engines for every kind except EnginePanic
+			// (which by design only fires on the compiled engine).
+			for _, eng := range []string{dbi.EngineIR, dbi.EngineCompiled} {
+				a, b := sigs[variant{eng, "per-event"}], sigs[variant{eng, "batched"}]
+				if a != "" && b != "" && a != b {
+					t.Errorf("%s-every%d: %s outcome differs across delivery:\n--- per-event\n%s\n--- batched\n%s",
+						kind, every, eng, a, b)
+				}
+			}
+			if kind != faultinject.EnginePanic {
+				a, b := sigs[variant{dbi.EngineIR, "batched"}], sigs[variant{dbi.EngineCompiled, "batched"}]
+				if a != "" && b != "" && a != b {
+					t.Errorf("%s-every%d: outcome differs across engines:\n--- ir\n%s\n--- compiled\n%s",
+						kind, every, a, b)
+				}
 			}
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/omp"
 	"repro/internal/ompt"
+	"repro/internal/snapshot"
 	"repro/internal/vm"
 )
 
@@ -65,6 +66,23 @@ type Setup struct {
 	// dbi.DeliverPerEvent (one callback per access, the differential
 	// reference).
 	Delivery dbi.Delivery
+	// Journal, when set, is attached to the machine and the injector: in
+	// record mode every scheduler pick and injection draw is logged; in
+	// verify mode the run is checked decision-by-decision against a prior
+	// recording (see internal/snapshot).
+	Journal *snapshot.Journal
+	// CkptEvery, when positive, enables periodic checkpointing: dirty-page
+	// tracking is switched on and a snapshot of the machine is captured
+	// into Instance.Ckpts every CkptEvery timeslices (with journal state
+	// marks when Journal is set).
+	CkptEvery int
+	// CkptRetain bounds the retained checkpoint history (0 = default 4);
+	// older checkpoints fold into the manager's base image.
+	CkptRetain int
+	// ReplayToken, when non-empty, is stamped onto any CrashReport this
+	// run produces, so the rendered report tells the user how to reproduce
+	// it (`taskgrind -replay <token>`).
+	ReplayToken string
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
@@ -76,6 +94,12 @@ type Instance struct {
 	Inject *faultinject.Injector
 	// RunOpts are applied by Run.
 	RunOpts vm.RunOpts
+	// Ckpts retains the run's checkpoint history (nil unless Setup.CkptEvery
+	// was set); Journal is the attached decision journal (nil unless set).
+	Ckpts   *snapshot.Manager
+	Journal *snapshot.Journal
+	// ReplayToken is stamped onto crash reports (see Setup.ReplayToken).
+	ReplayToken string
 }
 
 // New builds an instance.
@@ -120,6 +144,44 @@ func New(s Setup) (*Instance, error) {
 		inst.OMP.Pool.FailHook = func(uint64) bool { return in.Fire(faultinject.PoolAlloc) }
 		inst.OMP.DenySteal = func() bool { return in.Fire(faultinject.StealDeny) }
 		m.Perturb = func() bool { return in.Fire(faultinject.SchedPerturb) }
+		// The compiled engine's injected-defect hook. The IR oracle never
+		// consults it, so -on-panic=fallback sidesteps the injected panic.
+		inst.Core.PanicHook = func() bool { return in.Fire(faultinject.EnginePanic) }
+	}
+	inst.ReplayToken = s.ReplayToken
+	if s.Journal != nil {
+		inst.Journal = s.Journal
+		m.Journal = s.Journal
+		if in := inst.Inject; in != nil {
+			// Injection decisions enter the record stream (per-kind, with
+			// prefix semantics on verify — see snapshot.Journal.Fire).
+			in.Observe = func(k faultinject.Kind, fired bool) {
+				_ = s.Journal.Fire(int(k), fired)
+			}
+		}
+	}
+	if s.CkptEvery > 0 {
+		inst.Ckpts = snapshot.NewManager(s.CkptRetain)
+		m.Mem.EnableDirtyTracking()
+		inst.RunOpts.CkptEvery = s.CkptEvery
+		inst.RunOpts.OnCkpt = func(m *vm.Machine) error {
+			cp := m.CaptureCheckpoint()
+			cp.Seq = inst.Ckpts.Taken + 1
+			cp.CacheGen = inst.Core.CacheGen()
+			inst.Ckpts.Add(cp)
+			if s.Journal != nil {
+				// State marks are the online divergence probe: a replay
+				// (or an engine-fallback re-execution) cross-checks its
+				// digest against the recording at every checkpoint.
+				return s.Journal.AddMark(snapshot.Mark{
+					Slice:  m.Slices,
+					Blocks: m.BlocksExecuted,
+					Instrs: m.InstrsExecuted,
+					Digest: cp.Digest,
+				})
+			}
+			return nil
+		}
 	}
 	if tg, ok := s.Tool.(*core.Taskgrind); ok && tg.Opt.NoFreePool {
 		// The §IV-B future-work extension: neutralize the runtime's
@@ -178,6 +240,16 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("vm_host_panics_total").Set(m.HostPanics)
 	reg.Counter("vm_watchdog_trips_total").Set(m.WatchdogTrips)
 
+	if mgr := inst.Ckpts; mgr != nil {
+		reg.Counter("snapshot_checkpoints_total").Set(mgr.Taken)
+		reg.Counter("snapshot_checkpoints_dropped_total").Set(mgr.Dropped)
+		reg.Gauge("snapshot_page_bytes").Set(float64(mgr.PageBytes))
+	}
+	if j := inst.Journal; j != nil {
+		reg.Counter("journal_decisions_total").Set(uint64(j.Len()))
+		reg.Counter("journal_marks_total").Set(uint64(len(j.Marks())))
+	}
+
 	r := inst.OMP
 	reg.Counter("omp_tasks_created_total").Set(r.TasksCreated)
 	reg.Counter("omp_tasks_undeferred_total").Set(r.TasksUndeferred)
@@ -232,7 +304,7 @@ func (inst *Instance) Run() Result {
 	if err == nil && inst.Core.Tool() != nil {
 		err = inst.finiGuarded()
 	}
-	return Result{
+	res := Result{
 		ExitCode:    inst.M.ExitCode(),
 		Wall:        wall,
 		GuestInstrs: inst.M.InstrsExecuted,
@@ -240,6 +312,10 @@ func (inst *Instance) Run() Result {
 		Err:         err,
 		Crash:       inst.M.CrashReport(err),
 	}
+	if res.Crash != nil {
+		res.Crash.ReplayToken = inst.ReplayToken
+	}
+	return res
 }
 
 // finiGuarded runs the tool's analysis pass with panic containment: Fini

@@ -1,0 +1,265 @@
+package harness
+
+// The run supervisor: crash recovery, replay verification and engine-
+// fallback degradation on top of the checkpoint/journal substrate.
+//
+// Because tool and runtime state are host-side object graphs, a "rewind" is
+// implemented as deterministic re-execution: a fresh instance is built from
+// the same configuration and driven under the recorded journal, which
+// verifies — decision by decision, and state digest by state digest at every
+// checkpoint — that the reconstruction walks the recorded timeline. This is
+// the same trick that makes Valgrind-style serialized schedulers replayable:
+// the run is a pure function of its configuration, so re-executing IS
+// restoring, and the checkpoints' role is to prove it.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dbi"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// SetupFactory builds a fresh Setup for each (re-)execution attempt. It must
+// return an equivalent configuration every call (same image, seed, tool
+// construction, injection spec): the supervisor's recovery guarantees assume
+// attempt N replays attempt 0's timeline. Journal/checkpoint/replay-token
+// fields are overwritten by the supervisor.
+type SetupFactory func() Setup
+
+// OnPanic selects the supervisor's reaction to a contained HostPanic.
+type OnPanic int
+
+const (
+	// OnPanicReport keeps the PR 2 behaviour: contain, render, report.
+	OnPanicReport OnPanic = iota
+	// OnPanicFallback rewinds and re-executes under the IR oracle (the
+	// trusted reference engine), degrading gracefully instead of dying.
+	OnPanicFallback
+)
+
+// Failure taxonomy values (SupResult.Taxonomy, explore quarantine).
+const (
+	TaxFault      = "fault"      // GuestFault: wild guest access
+	TaxPanic      = "panic"      // HostPanic: host-side defect (engine, tool)
+	TaxTimeout    = "timeout"    // watchdog budget exhausted
+	TaxDeadlock   = "deadlock"   // no runnable threads
+	TaxDivergence = "divergence" // replay departed from the recording
+	TaxError      = "error"      // other (plain) error
+)
+
+// Classify maps a run error to the failure taxonomy ("" for nil).
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var div *snapshot.Divergence
+	var gf *vm.GuestFault
+	var hp *vm.HostPanic
+	var wd *vm.WatchdogError
+	var dl *vm.DeadlockError
+	switch {
+	case errors.As(err, &div):
+		return TaxDivergence
+	case errors.As(err, &gf):
+		return TaxFault
+	case errors.As(err, &hp):
+		return TaxPanic
+	case errors.As(err, &wd):
+		return TaxTimeout
+	case errors.As(err, &dl):
+		return TaxDeadlock
+	}
+	return TaxError
+}
+
+// SuperviseOpts configures a supervised run.
+type SuperviseOpts struct {
+	// OnPanic selects report vs IR-oracle fallback for host panics.
+	OnPanic OnPanic
+	// CkptEvery is the checkpoint cadence in timeslices (default 16).
+	CkptEvery int
+	// Retain bounds retained checkpoint history (0 = manager default).
+	Retain int
+	// VerifyCrash requires a crash to reproduce once, bit-identically,
+	// under journal-verified replay before it is reported as real.
+	VerifyCrash bool
+	// Token, when non-empty, is stamped onto crash reports.
+	Token string
+}
+
+// SupResult is a supervised run's outcome.
+type SupResult struct {
+	Result
+	// Attempts counts executions (first run + replays + fallback).
+	Attempts int
+	// FellBack reports that the run completed under the IR oracle after
+	// the configured engine failed.
+	FellBack bool
+	// Taxonomy classifies the original failure ("" when the first attempt
+	// succeeded); see the Tax* constants.
+	Taxonomy string
+	// Reproduced reports that VerifyCrash replayed the crash and the
+	// rendered report came back bit-identical.
+	Reproduced bool
+	// Window is the [last-verified-slice, failing-slice] interval the
+	// failure was narrowed to (zero when the run succeeded).
+	Window [2]uint64
+	// Checkpoints is the number of snapshots captured on the first attempt.
+	Checkpoints uint64
+	// Inst is the instance that produced Result (the fallback instance
+	// when FellBack): its tool carries the surviving run's reports.
+	Inst *Instance
+}
+
+// buildSupervised constructs one attempt's instance with the supervisor's
+// journal/checkpoint wiring. engine overrides the factory's engine choice
+// when non-empty.
+func buildSupervised(factory SetupFactory, opts SuperviseOpts, j *snapshot.Journal, ckptEvery int, engine string) (*Instance, error) {
+	s := factory()
+	s.Journal = j
+	s.CkptEvery = ckptEvery
+	s.CkptRetain = opts.Retain
+	if opts.Token != "" {
+		s.ReplayToken = opts.Token
+	}
+	if engine != "" {
+		s.Engine = engine
+	}
+	return New(s)
+}
+
+// Supervise runs the configured program under the recovery supervisor:
+// the first attempt records a full decision journal with periodic state
+// marks; on a crash, the journal verifies the reproduction (VerifyCrash) and
+// — for host panics under OnPanicFallback — drives a rewound re-execution
+// under the IR oracle that must walk the recorded timeline up to the panic
+// point before continuing past it.
+func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
+	if opts.CkptEvery <= 0 {
+		opts.CkptEvery = 16
+	}
+	var sup SupResult
+
+	journal := snapshot.NewJournal()
+	inst, err := buildSupervised(factory, opts, journal, opts.CkptEvery, "")
+	if err != nil {
+		return sup, fmt.Errorf("harness: supervise: %w", err)
+	}
+	sup.Attempts = 1
+	sup.Result = inst.Run()
+	sup.Inst = inst
+	if inst.Ckpts != nil {
+		sup.Checkpoints = inst.Ckpts.Taken
+	}
+	if sup.Err == nil {
+		return sup, nil
+	}
+	sup.Taxonomy = Classify(sup.Err)
+
+	// Narrow the failure window: everything up to the last recorded state
+	// mark is verified ground; the failure fired between there and the
+	// machine's final slice.
+	failSlice := inst.M.Slices
+	var lastMark uint64
+	if marks := journal.Marks(); len(marks) > 0 {
+		lastMark = marks[len(marks)-1].Slice
+	}
+	sup.Window = [2]uint64{lastMark, failSlice}
+
+	// Replay-verify: a crash must reproduce once, bit-identically, before
+	// it is reported as real (quarantine semantics for explore).
+	if opts.VerifyCrash && sup.Crash != nil {
+		v := journal.Verifier(false)
+		replay, err := buildSupervised(factory, opts, v, opts.CkptEvery, "")
+		if err != nil {
+			return sup, fmt.Errorf("harness: supervise replay: %w", err)
+		}
+		sup.Attempts++
+		rres := replay.Run()
+		sup.Reproduced = rres.Crash != nil && v.Err() == nil &&
+			rres.Crash.Render(replay.M.Image) == sup.Crash.Render(inst.M.Image)
+	}
+
+	// Graceful degradation: a host panic under OnPanicFallback rewinds and
+	// re-executes under the IR oracle. The soft verifier cross-checks the
+	// fallback against the recorded timeline (picks, injection draws,
+	// state marks); a divergence *before* the panic point means the
+	// configured engine was corrupting state earlier than it crashed, and
+	// is surfaced as TaxDivergence with a narrowed window.
+	var hp *vm.HostPanic
+	if opts.OnPanic == OnPanicFallback && errors.As(sup.Err, &hp) {
+		v := journal.Verifier(true)
+		fb, err := buildSupervised(factory, opts, v, opts.CkptEvery, dbi.EngineIR)
+		if err != nil {
+			return sup, fmt.Errorf("harness: supervise fallback: %w", err)
+		}
+		sup.Attempts++
+		fres := fb.Run()
+		sup.Inst = fb
+		if fres.Err == nil {
+			sup.FellBack = true
+			sup.Result = fres
+			if d := v.Err(); d != nil && d.Slice < failSlice {
+				sup.Taxonomy = TaxDivergence
+				sup.Window = markWindow(journal, v, d.Slice)
+			}
+		} else {
+			// The oracle failed too: the failure is real (a guest bug or
+			// environment fault, not an engine defect). Report the
+			// fallback's outcome.
+			sup.Result = fres
+			sup.Taxonomy = Classify(fres.Err)
+		}
+	}
+	return sup, nil
+}
+
+// markWindow narrows a divergence at failSlice to the interval between the
+// last mark the verifier matched and the divergence point.
+func markWindow(rec *snapshot.Journal, v *snapshot.Journal, failSlice uint64) [2]uint64 {
+	var lo uint64
+	if n := v.MarksMatched(); n > 0 {
+		lo = rec.Marks()[n-1].Slice
+	}
+	return [2]uint64{lo, failSlice}
+}
+
+// BisectDivergence re-runs the configured engine against the IR oracle at
+// single-slice checkpoint cadence, returning the minimal
+// [last-agreeing-slice, first-diverging-slice] window (ok=false when the two
+// engines agree everywhere, i.e. the failure is not a divergence). It is the
+// slow, precise follow-up to the CkptEvery-granular window Supervise
+// reports.
+func BisectDivergence(factory SetupFactory, opts SuperviseOpts) (window [2]uint64, ok bool, err error) {
+	ref := snapshot.NewJournal()
+	inst, err := buildSupervised(factory, opts, ref, 1, "")
+	if err != nil {
+		return window, false, err
+	}
+	refRes := inst.Run()
+
+	v := ref.Verifier(true)
+	oracle, err := buildSupervised(factory, opts, v, 1, dbi.EngineIR)
+	if err != nil {
+		return window, false, err
+	}
+	ores := oracle.Run()
+	_ = ores
+	if d := v.Err(); d != nil {
+		return markWindow(ref, v, d.Slice), true, nil
+	}
+	if refRes.Err != nil && ores.Err == nil {
+		// No state divergence, but the configured engine died where the
+		// oracle survives (e.g. an injected engine panic): the minimal
+		// window is the failing slice itself.
+		fail := inst.M.Slices
+		var lo uint64
+		if fail > 0 {
+			lo = fail - 1
+		}
+		return [2]uint64{lo, fail}, true, nil
+	}
+	return window, false, nil
+}

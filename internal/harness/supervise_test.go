@@ -1,0 +1,206 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// taskFactory builds a SetupFactory over a linked image: every attempt gets
+// a fresh tool and a fresh injector (both are stateful), with identical
+// configuration — the supervisor's determinism contract.
+func taskFactory(im *guest.Image, inject func() *faultinject.Injector) harness.SetupFactory {
+	return func() harness.Setup {
+		s := harness.Setup{
+			Image: im, Tool: core.New(core.Options{}), Seed: 2, Threads: 4,
+			RunOpts: vm.RunOpts{MaxBlocks: 2_000_000},
+		}
+		if inject != nil {
+			s.Inject = inject()
+		}
+		return s
+	}
+}
+
+func linkOrFatal(t *testing.T, seed int64) *guest.Image {
+	t.Helper()
+	im, err := randTaskProgram(seed).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestSupervisorCleanRunPassesThrough(t *testing.T) {
+	im := linkOrFatal(t, 11)
+	sup, err := harness.Supervise(taskFactory(im, nil), harness.SuperviseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Err != nil || sup.Attempts != 1 || sup.Taxonomy != "" || sup.FellBack {
+		t.Fatalf("clean run: %+v err=%v", sup, sup.Err)
+	}
+	if sup.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+}
+
+// TestSupervisorFallbackMatchesUninjectedReport is the acceptance criterion:
+// an injected compiled-engine panic under OnPanicFallback completes the run
+// under the IR oracle, and the tool report is bit-identical to an uninjected
+// run's.
+func TestSupervisorFallbackMatchesUninjectedReport(t *testing.T) {
+	im := linkOrFatal(t, 11)
+
+	// Uninjected baseline.
+	base, err := harness.Supervise(taskFactory(im, nil), harness.SuperviseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+	baseReport := base.Inst.Core.Tool().(*core.Taskgrind).Reports.String()
+
+	// The run dispatches a couple hundred blocks; a period of 40 guarantees
+	// the injected defect fires mid-run regardless of the seed-derived phase.
+	inject := func() *faultinject.Injector {
+		in := faultinject.New(7)
+		in.Enable(faultinject.EnginePanic, 40)
+		return in
+	}
+
+	// Without fallback, the injected engine defect kills the run.
+	dead, err := harness.Supervise(taskFactory(im, inject),
+		harness.SuperviseOpts{OnPanic: harness.OnPanicReport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Taxonomy != harness.TaxPanic || dead.Crash == nil || dead.FellBack {
+		t.Fatalf("report mode: taxonomy=%q crash=%v fellback=%v",
+			dead.Taxonomy, dead.Crash, dead.FellBack)
+	}
+	if dead.Window[1] < dead.Window[0] {
+		t.Fatalf("bad failure window %v", dead.Window)
+	}
+
+	// With fallback, the IR oracle completes the run.
+	sup, err := harness.Supervise(taskFactory(im, inject),
+		harness.SuperviseOpts{OnPanic: harness.OnPanicFallback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sup.FellBack || sup.Err != nil {
+		t.Fatalf("fallback did not complete: fellback=%v err=%v", sup.FellBack, sup.Err)
+	}
+	if sup.Taxonomy != harness.TaxPanic {
+		t.Fatalf("taxonomy = %q, want %q (why it fell back)", sup.Taxonomy, harness.TaxPanic)
+	}
+	got := sup.Inst.Core.Tool().(*core.Taskgrind).Reports.String()
+	if got != baseReport {
+		t.Fatalf("fallback report differs from uninjected run:\n--- fallback\n%s\n--- baseline\n%s", got, baseReport)
+	}
+	if sup.ExitCode != base.ExitCode || sup.GuestInstrs != base.GuestInstrs {
+		t.Fatalf("fallback exit/instrs %d/%d, baseline %d/%d",
+			sup.ExitCode, sup.GuestInstrs, base.ExitCode, base.GuestInstrs)
+	}
+}
+
+// TestSupervisorVerifyCrashReproduces: a real guest crash must reproduce
+// bit-identically under journal-verified replay, and the rendered report
+// carries the replay token.
+func TestSupervisorVerifyCrashReproduces(t *testing.T) {
+	im, err := wildStoreProgram().Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := snapshot.Config{Prog: "wildstore", Tool: "taskgrind", Seed: 1, Threads: 2}.Token()
+	factory := func() harness.Setup {
+		return harness.Setup{Image: im, Tool: core.New(core.Options{}), Seed: 1, Threads: 2}
+	}
+	sup, err := harness.Supervise(factory, harness.SuperviseOpts{
+		VerifyCrash: true, Token: token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Taxonomy != harness.TaxFault || sup.Crash == nil {
+		t.Fatalf("taxonomy=%q crash=%v", sup.Taxonomy, sup.Crash)
+	}
+	if !sup.Reproduced {
+		t.Fatal("crash did not reproduce under verified replay")
+	}
+	if sup.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", sup.Attempts)
+	}
+	text := sup.Crash.Render(sup.Inst.M.Image)
+	if !strings.Contains(text, "replay: "+token) {
+		t.Fatalf("report missing replay token:\n%s", text)
+	}
+}
+
+// TestBisectDivergence narrows an injected engine panic to a single-slice
+// window at CkptEvery=1 cadence.
+func TestBisectDivergence(t *testing.T) {
+	im := linkOrFatal(t, 11)
+	inject := func() *faultinject.Injector {
+		in := faultinject.New(7)
+		in.Enable(faultinject.EnginePanic, 40)
+		return in
+	}
+	window, ok, err := harness.BisectDivergence(taskFactory(im, inject), harness.SuperviseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("bisect found no divergence for an injected engine panic")
+	}
+	if window[1] <= window[0] {
+		t.Fatalf("degenerate window %v", window)
+	}
+
+	// Two agreeing engines: no divergence to find.
+	_, ok, err = harness.BisectDivergence(taskFactory(im, nil), harness.SuperviseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("bisect reported divergence on agreeing engines")
+	}
+}
+
+// TestSupervisedReplayDetectsForeignSchedule: verifying a journal against a
+// run with a different seed reports a divergence instead of silently
+// accepting it.
+func TestSupervisedReplayDetectsForeignSchedule(t *testing.T) {
+	im := linkOrFatal(t, 11)
+	rec := snapshot.NewJournal()
+	s := harness.Setup{Image: im, Tool: core.New(core.Options{}), Seed: 2, Threads: 4, Journal: rec}
+	inst, err := harness.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := inst.Run(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	v := rec.Verifier(false)
+	s2 := s
+	s2.Seed = 3
+	s2.Tool = core.New(core.Options{})
+	s2.Journal = v
+	inst2, err := harness.New(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inst2.Run()
+	if harness.Classify(res.Err) != harness.TaxDivergence {
+		t.Fatalf("foreign schedule not flagged: %v", res.Err)
+	}
+}

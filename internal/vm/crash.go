@@ -171,6 +171,10 @@ type CrashReport struct {
 	Stack []uint64
 	// Threads dumps every thread.
 	Threads []ThreadDump
+	// ReplayToken, when set by the harness, is rendered at the bottom of
+	// the report: re-running `taskgrind -replay <token>` reproduces this
+	// crash bit-identically.
+	ReplayToken string
 }
 
 // CrashReport classifies err. It returns nil when err is nil or not one of
@@ -254,6 +258,9 @@ func (r *CrashReport) Render(im *guest.Image) string {
 				tag, td.ID, stateName(td.State), reason, td.PC, td.Blocks, td.Instrs)
 			writeStack(td.Stack)
 		}
+	}
+	if r.ReplayToken != "" {
+		fmt.Fprintf(&sb, "%sreplay: %s\n", tag, r.ReplayToken)
 	}
 	return sb.String()
 }

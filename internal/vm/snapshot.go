@@ -1,0 +1,170 @@
+package vm
+
+// Checkpoint capture/restore for the guest machine. Capture serializes
+// everything the VM owns — registers, thread scheduler state, counters, the
+// PRNG stream position, and the dirty-page delta since the previous capture.
+// What it deliberately does not serialize is host-side object graphs hanging
+// off threads (Thread.Tool, Thread.RT): those are reconstructed by
+// deterministic re-execution when a supervisor rewinds a full DBI run.
+// In-place RestoreCheckpoint is therefore exact only for pure-guest machines
+// (no tool/runtime state, as in the VM's own tests); the harness supervisor
+// uses captures as fidelity probes and rebuilds full runs from boot.
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+	"repro/internal/snapshot"
+)
+
+// CaptureCheckpoint snapshots the machine at the current block boundary.
+// Page deltas come from the dirty-generation cut, so EnableDirtyTracking
+// must be on (the first capture then carries everything resident). The
+// returned checkpoint's CacheGen is zero; callers owning a translation cache
+// stamp it afterwards.
+func (m *Machine) CaptureCheckpoint() *snapshot.Checkpoint {
+	cp := &snapshot.Checkpoint{
+		Slices:        m.Slices,
+		Blocks:        m.BlocksExecuted,
+		Instrs:        m.InstrsExecuted,
+		Switches:      m.Switches,
+		Preemptions:   m.Preemptions,
+		GuestFaults:   m.GuestFaults,
+		HostPanics:    m.HostPanics,
+		WatchdogTrips: m.WatchdogTrips,
+		RNG:           m.rng,
+		Exited:        m.exited,
+		ExitCode:      m.exitCode,
+		NextStackTop:  m.nextStackTop,
+		NextTLS:       m.nextTLS,
+	}
+	cp.Threads = make([]snapshot.ThreadState, len(m.threads))
+	for i, t := range m.threads {
+		ts := &cp.Threads[i]
+		ts.ID = t.ID
+		ts.Regs = t.Regs
+		ts.PC = t.PC
+		ts.State = uint8(t.State)
+		ts.BlockReason = t.BlockReason
+		ts.StackLo, ts.StackHi = t.StackLo, t.StackHi
+		ts.TLSBase, ts.TLSGen = t.TLSBase, t.TLSGen
+		ts.Blocks, ts.Instrs = t.BlocksExecuted, t.InstrsExecuted
+		for _, f := range t.CallStack {
+			ts.CallStack = append(ts.CallStack, snapshot.Frame{Fn: f.Fn, CallSite: f.CallSite, SP: f.SP})
+		}
+	}
+	cp.Pages = m.Mem.CutGeneration()
+	cp.Regions = m.Mem.Regions()
+	cp.Digest = cp.ComputeDigest()
+	return cp
+}
+
+// StateDigest computes the cheap online-divergence digest of the current
+// state (same function as Checkpoint.ComputeDigest) without cutting the
+// dirty generation or copying pages.
+func (m *Machine) StateDigest() uint64 {
+	cp := snapshot.Checkpoint{
+		Slices:   m.Slices,
+		Blocks:   m.BlocksExecuted,
+		Instrs:   m.InstrsExecuted,
+		Switches: m.Switches,
+		RNG:      m.rng,
+	}
+	cp.Threads = make([]snapshot.ThreadState, len(m.threads))
+	for i, t := range m.threads {
+		ts := &cp.Threads[i]
+		ts.ID = t.ID
+		ts.Regs = t.Regs
+		ts.PC = t.PC
+		ts.State = uint8(t.State)
+		ts.Instrs = t.InstrsExecuted
+		for _, f := range t.CallStack {
+			ts.CallStack = append(ts.CallStack, snapshot.Frame{Fn: f.Fn, CallSite: f.CallSite, SP: f.SP})
+		}
+	}
+	return cp.ComputeDigest()
+}
+
+// RestoreCheckpoint rewinds the machine in place to a retained checkpoint.
+// Memory is restored incrementally: every page dirtied after cp (later
+// checkpoint deltas plus the current uncut generation) is rewritten with its
+// value at cp from the manager's history, or zeroed if it was untouched
+// then. Threads created after cp are dropped; host-side Tool/RT state is NOT
+// restored — callers with tool or runtime state must rewind by re-execution
+// instead (see the harness supervisor).
+func (m *Machine) RestoreCheckpoint(cp *snapshot.Checkpoint, mgr *snapshot.Manager) error {
+	if cp == nil {
+		return fmt.Errorf("vm: restore: nil checkpoint")
+	}
+	if len(cp.Threads) > len(m.threads) {
+		return fmt.Errorf("vm: restore: checkpoint has %d threads, machine has %d",
+			len(cp.Threads), len(m.threads))
+	}
+
+	// Collect every page written after cp: deltas of retained checkpoints
+	// newer than cp, then whatever the current generation dirtied.
+	touched := make(map[uint64]struct{})
+	after := false
+	found := false
+	for _, c := range mgr.Checkpoints() {
+		if after {
+			for _, pd := range c.Pages {
+				touched[pd.Idx] = struct{}{}
+			}
+		}
+		if c == cp {
+			after, found = true, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("vm: restore: checkpoint seq %d not retained", cp.Seq)
+	}
+	for _, pd := range m.Mem.CutGeneration() {
+		touched[pd.Idx] = struct{}{}
+	}
+	restore := make([]gmem.PageDump, 0, len(touched))
+	zero := make([]byte, gmem.PageSize)
+	for idx := range touched {
+		if data, ok := mgr.PageAt(cp, idx); ok {
+			restore = append(restore, gmem.PageDump{Idx: idx, Data: data})
+		} else {
+			restore = append(restore, gmem.PageDump{Idx: idx, Data: zero})
+		}
+	}
+	m.Mem.WritePages(restore)
+	m.Mem.SetRegions(cp.Regions)
+
+	m.threads = m.threads[:len(cp.Threads)]
+	for i := range cp.Threads {
+		ts, t := &cp.Threads[i], m.threads[i]
+		t.Regs = ts.Regs
+		t.PC = ts.PC
+		t.State = ThreadState(ts.State)
+		t.BlockReason = ts.BlockReason
+		t.StackLo, t.StackHi = ts.StackLo, ts.StackHi
+		t.TLSBase, t.TLSGen = ts.TLSBase, ts.TLSGen
+		t.BlocksExecuted, t.InstrsExecuted = ts.Blocks, ts.Instrs
+		t.CallStack = t.CallStack[:0]
+		for _, f := range ts.CallStack {
+			t.CallStack = append(t.CallStack, Frame{Fn: f.Fn, CallSite: f.CallSite, SP: f.SP})
+		}
+	}
+
+	m.Slices = cp.Slices
+	m.BlocksExecuted = cp.Blocks
+	m.InstrsExecuted = cp.Instrs
+	m.Switches = cp.Switches
+	m.Preemptions = cp.Preemptions
+	m.GuestFaults = cp.GuestFaults
+	m.HostPanics = cp.HostPanics
+	m.WatchdogTrips = cp.WatchdogTrips
+	m.rng = cp.RNG
+	m.exited = cp.Exited
+	m.exitCode = cp.ExitCode
+	m.nextStackTop = cp.NextStackTop
+	m.nextTLS = cp.NextTLS
+	return nil
+}
+
+// RNGState exposes the scheduler PRNG position (replay diagnostics).
+func (m *Machine) RNGState() uint64 { return m.rng }

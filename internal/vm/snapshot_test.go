@@ -1,0 +1,178 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// buildAccumulator builds a pure-guest program (no host calls, no host-side
+// state) so in-place checkpoint restore is exact: main sums 0..n-1 into a
+// global and exits with the total.
+func buildAccumulator(t *testing.T, n int64) *guest.Image {
+	t.Helper()
+	b := gbuild.New()
+	b.Global("acc", 8)
+	f := b.Func("main", "s.c")
+	loop := f.NewLabel()
+	f.Ldi(guest.R3, 0)
+	f.Bind(loop)
+	f.LoadSym(guest.R1, "acc")
+	f.Ld(8, guest.R2, guest.R1, 0)
+	f.Add(guest.R2, guest.R2, guest.R3)
+	f.St(8, guest.R1, 0, guest.R2)
+	f.Addi(guest.R3, guest.R3, 1)
+	f.Ldi(guest.R4, int32(n))
+	f.Blt(guest.R3, guest.R4, loop)
+	f.LoadSym(guest.R1, "acc")
+	f.Ld(8, guest.R0, guest.R1, 0)
+	f.Hlt(guest.R0)
+	im, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// runWithCheckpoints runs a fresh accumulator machine, capturing a
+// checkpoint into a manager every `every` slices.
+func runWithCheckpoints(t *testing.T, every int) (*vm.Machine, *snapshot.Manager) {
+	t.Helper()
+	m, err := vm.New(buildAccumulator(t, 200), nil, vm.Config{Seed: 7, Slice: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.EnableDirtyTracking()
+	mgr := snapshot.NewManager(64)
+	err = m.RunOpts(vm.RunOpts{CkptEvery: every, OnCkpt: func(m *vm.Machine) error {
+		cp := m.CaptureCheckpoint()
+		cp.Seq = mgr.Taken + 1
+		mgr.Add(cp)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mgr
+}
+
+func TestCheckpointRestoreRewindsAndReconverges(t *testing.T) {
+	m, mgr := runWithCheckpoints(t, 3)
+	if mgr.Taken < 3 {
+		t.Fatalf("only %d checkpoints taken", mgr.Taken)
+	}
+	wantExit := m.ExitCode()
+	wantHash := m.Mem.Hash()
+	wantBlocks, wantInstrs := m.BlocksExecuted, m.InstrsExecuted
+	wantRNG := m.RNGState()
+
+	// Rewind to a mid-run checkpoint and re-execute to completion.
+	cps := mgr.Checkpoints()
+	cp := cps[len(cps)/2]
+	if err := m.RestoreCheckpoint(cp, mgr); err != nil {
+		t.Fatal(err)
+	}
+	if m.BlocksExecuted != cp.Blocks || m.Exited() {
+		t.Fatalf("restore left blocks=%d exited=%v, want %d/false",
+			m.BlocksExecuted, m.Exited(), cp.Blocks)
+	}
+	if got := m.StateDigest(); got != cp.Digest {
+		t.Fatalf("post-restore digest %#x, checkpoint digest %#x", got, cp.Digest)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode() != wantExit || m.Mem.Hash() != wantHash {
+		t.Fatalf("rewound run diverged: exit %d hash %#x, want %d %#x",
+			m.ExitCode(), m.Mem.Hash(), wantExit, wantHash)
+	}
+	if m.BlocksExecuted != wantBlocks || m.InstrsExecuted != wantInstrs || m.RNGState() != wantRNG {
+		t.Fatalf("rewound counters blocks/instrs/rng = %d/%d/%#x, want %d/%d/%#x",
+			m.BlocksExecuted, m.InstrsExecuted, m.RNGState(), wantBlocks, wantInstrs, wantRNG)
+	}
+}
+
+func TestCheckpointStreamsDeterministic(t *testing.T) {
+	_, mgrA := runWithCheckpoints(t, 5)
+	_, mgrB := runWithCheckpoints(t, 5)
+	a, b := mgrA.Checkpoints(), mgrB.Checkpoints()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("checkpoint counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if err := a[i].Diff(b[i]); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+}
+
+func TestRestoreRejectsUnretainedCheckpoint(t *testing.T) {
+	m, mgr := runWithCheckpoints(t, 3)
+	stray := &snapshot.Checkpoint{Seq: 999}
+	if err := m.RestoreCheckpoint(stray, mgr); err == nil {
+		t.Fatal("restore accepted an unretained checkpoint")
+	}
+}
+
+func TestJournalVerifiesFaithfulReplay(t *testing.T) {
+	im := buildSpawner(t)
+	run := func(j *snapshot.Journal, perturb func() bool) (*vm.Machine, error) {
+		h := &testHost{}
+		reg := vm.NewHostRegistry()
+		h.install(reg, im)
+		m, err := vm.New(im, reg, vm.Config{Seed: 11, Slice: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Journal = j
+		m.Perturb = perturb
+		return m, m.Run()
+	}
+
+	rec := snapshot.NewJournal()
+	m1, err := run(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	// Same config replays without divergence.
+	v := rec.Verifier(false)
+	m2, err := run(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err() != nil {
+		t.Fatalf("faithful replay diverged: %v", v.Err())
+	}
+	if m1.ExitCode() != m2.ExitCode() || m1.Mem.Hash() != m2.Mem.Hash() {
+		t.Fatal("replayed run ended in a different state")
+	}
+
+	// A perturbed replay diverges, and the error surfaces at the slice
+	// boundary as *snapshot.Divergence.
+	v2 := rec.Verifier(false)
+	_, err = run(v2, func() bool { return true })
+	var div *snapshot.Divergence
+	if !errors.As(err, &div) {
+		t.Fatalf("perturbed replay returned %v, want *snapshot.Divergence", err)
+	}
+	if div.What != "perturb" && div.What != "pick" {
+		t.Fatalf("divergence stream = %q", div.What)
+	}
+
+	// Soft mode records the divergence but lets the run finish.
+	v3 := rec.Verifier(true)
+	if _, err := run(v3, func() bool { return true }); err != nil {
+		t.Fatalf("soft replay failed: %v", err)
+	}
+	if v3.Err() == nil {
+		t.Fatal("soft divergence not recorded")
+	}
+}

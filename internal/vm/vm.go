@@ -18,6 +18,7 @@ import (
 	"repro/internal/gmem"
 	"repro/internal/guest"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 // ThreadExitAddr is the magic return address installed in LR when a thread
@@ -250,6 +251,12 @@ type Machine struct {
 	// perturbation, used by fault injection).
 	Perturb func() bool
 
+	// Journal, when set, records (or verifies) every scheduler decision:
+	// which thread each timeslice picked and whether the perturb draw
+	// fired. In verify mode a divergence from the recording aborts the run
+	// with a *snapshot.Divergence at the next slice boundary.
+	Journal *snapshot.Journal
+
 	// ExtraFootprint lets tools add their shadow-structure size to the
 	// reported memory usage.
 	ExtraFootprint func() uint64
@@ -469,6 +476,15 @@ type RunOpts struct {
 	// enabling it costs nothing on the block dispatch path). Unlike the
 	// deterministic budgets, where it trips depends on host speed.
 	Timeout time.Duration
+	// CkptEvery, when > 0, invokes OnCkpt every CkptEvery timeslices —
+	// counted across both the scheduling loop and the solo fast path, so
+	// the cadence is deterministic in executed slices, not scheduler
+	// rounds. Checkpoints happen at block boundaries only; a slice that
+	// ends in an error is never checkpointed.
+	CkptEvery int
+	// OnCkpt is the checkpoint callback (capture, retention, journal
+	// marks live in the caller). A non-nil error aborts the run.
+	OnCkpt func(m *Machine) error
 }
 
 // Run drives the scheduler until the program exits, deadlocks, or the block
@@ -501,6 +517,23 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	// Checkpoint cadence: counted in executed slices across both loop
+	// paths, so the cadence is independent of how slices batch into
+	// scheduler rounds.
+	ckptLeft := opts.CkptEvery
+	sliceEnd := func() error {
+		if opts.CkptEvery <= 0 {
+			return nil
+		}
+		if ckptLeft--; ckptLeft > 0 {
+			return nil
+		}
+		ckptLeft = opts.CkptEvery
+		if opts.OnCkpt != nil {
+			return opts.OnCkpt(m)
+		}
+		return nil
+	}
 	var cur *Thread
 	for !m.exited {
 		if err := m.checkBudgets(&opts, deadline); err != nil {
@@ -525,11 +558,20 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 		}
 		m.Slices++
 		slice := m.slice
-		if m.Perturb != nil && m.Perturb() {
+		perturbed := m.Perturb != nil && m.Perturb()
+		if perturbed {
 			slice = 1
+		}
+		if m.Journal != nil {
+			if err := m.Journal.Slice(m.Slices, t.ID, perturbed); err != nil {
+				return err
+			}
 		}
 		voluntary, err := m.runSlice(t, slice)
 		if err != nil {
+			return err
+		}
+		if err := sliceEnd(); err != nil {
 			return err
 		}
 		// Solo fast path: while t is the only runnable thread, a full
@@ -545,11 +587,20 @@ func (m *Machine) RunOpts(opts RunOpts) error {
 			}
 			m.rand() // the draw pick() would have consumed
 			slice = m.slice
-			if m.Perturb != nil && m.Perturb() {
+			perturbed = m.Perturb != nil && m.Perturb()
+			if perturbed {
 				slice = 1
+			}
+			if m.Journal != nil {
+				if err := m.Journal.Slice(m.Slices, t.ID, perturbed); err != nil {
+					return err
+				}
 			}
 			voluntary, err = m.runSlice(t, slice)
 			if err != nil {
+				return err
+			}
+			if err := sliceEnd(); err != nil {
 				return err
 			}
 		}
