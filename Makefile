@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke perf-guard fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke bench-rec perf-guard query-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
 # focused batched-delivery pass), the replay-determinism gate, the fuzzer
 # smoke run, both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke
 # does not overwrite the recorded BENCH_perf.json), and the hot-path +
-# checkpoint-overhead regression guards against the recorded baseline.
-check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke perf-guard
+# checkpoint-overhead + recording-overhead regression guards against the
+# recorded baseline, and the record-and-query smoke.
+check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke query-smoke perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -59,14 +60,26 @@ bench-perf:
 
 # Smoke run for the gate: exercises every arm once, no JSON output.
 bench-perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkRecording' -benchtime 1x .
+
+# Recording-overhead comparison (ring sink vs columnar run store on the
+# observability workload); writes the "recording" section of BENCH_perf.json.
+bench-rec:
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkRecording' -benchtime 3x .
+
+# Record-and-query smoke: a short sweep into a throwaway store, then every
+# query verb against it. Exercises the CLI end to end, including the golden
+# and cross-seed-aggregation acceptance tests. Fresh run (-count=1) so the
+# gate never passes on a cached result.
+query-smoke:
+	$(GO) test -count=1 -run 'TestQueryGolden|TestQueryCLISmoke|TestExploreRecordAggBitIdentical' ./cmd/taskgrind
 
 # Regression guards: re-measures the compiled engine's hot ns/block (fails
 # on >20% regression) and the ckpt-16 checkpoint overhead ratio (fails at
 # 1.5x the recorded ratio) against the baseline recorded in BENCH_perf.json
 # by `make bench-perf` (best-of-3, so only a real slowdown trips either).
 perf-guard:
-	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression' .
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

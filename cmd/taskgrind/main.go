@@ -9,6 +9,12 @@
 //	taskgrind -prog lulesh -racy -s 8 -tool taskgrind
 //	taskgrind -prog task.c -tool romp
 //	taskgrind -list
+//
+// Subcommands:
+//
+//	taskgrind explore -prog task.c -seeds 100 -record /tmp/runs
+//	taskgrind query agg -store /tmp/runs
+//	taskgrind query top -store /tmp/runs -by samples -n 10
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/lulesh"
 	"repro/internal/obs"
+	"repro/internal/obs/store"
 	"repro/internal/omp"
 	"repro/internal/snapshot"
 	"repro/internal/tools/archer"
@@ -40,6 +47,19 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `taskgrind query ...` and `taskgrind explore ...`
+	// operate on/produce run stores; everything else is the single-run flag
+	// interface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "query":
+			runQuery(os.Args[2:], os.Stdout)
+			return
+		case "explore":
+			runExplore(os.Args[2:], os.Stdout)
+			return
+		}
+	}
 	var (
 		prog     = flag.String("prog", "task.c", "program to run (-list to enumerate)")
 		asmFile  = flag.String("asm", "", "assemble and run a guest .s file instead of -prog")
@@ -55,6 +75,7 @@ func main() {
 		gantt    = flag.Bool("trace", false, "print a task-schedule Gantt chart after the run")
 		// Observability outputs.
 		metricsFile  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		recordDir    = flag.String("record", "", "append this run (spans, instants, profile samples, counters, verdict) to a run store directory (query with `taskgrind query`)")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event trace to this file (load in chrome://tracing or ui.perfetto.dev)")
 		traceBlocks  = flag.Bool("trace-blocks", false, "include per-block dispatch events in -trace-out (very large)")
 		profileFile  = flag.String("profile", "", "write a guest-PC profile (per-symbol + flat) to this file")
@@ -172,6 +193,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	symOf := func(pc uint64) string {
+		if sym := im.SymbolFor(pc); sym != nil {
+			return sym.Name
+		}
+		return ""
+	}
+	var storeW *store.Writer
+	if *recordDir != "" {
+		storeW, err = store.Create(*recordDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	// makeSetup assembles one attempt's configuration. Under
 	// -on-panic=fallback the supervisor may build several attempts (record,
 	// replay, IR fallback); tool, injector and observability sinks are all
@@ -188,6 +222,7 @@ func main() {
 		traceF *os.File
 		inj    *faultinject.Injector
 		outBuf *bytes.Buffer
+		srw    *store.RunWriter
 	)
 	makeSetup := func() harness.Setup {
 		tl, count, err = toolreg.Make(*tool)
@@ -206,23 +241,45 @@ func main() {
 		// Assemble the observability hooks. Nil hooks keep every
 		// instrumented hot path on its one-pointer-compare fast path.
 		hooks, reg, tracer, prof = nil, nil, nil, nil
-		if *verbose || *metricsFile != "" || *traceOut != "" || *profileFile != "" {
+		if *verbose || *metricsFile != "" || *traceOut != "" || *profileFile != "" || storeW != nil {
 			hooks = &obs.Hooks{}
-			if *verbose || *metricsFile != "" {
+			if *verbose || *metricsFile != "" || storeW != nil {
 				reg = obs.NewRegistry()
 				hooks.Metrics = reg
 			}
+			var sinks []obs.Sink
 			if *traceOut != "" {
 				f, cerr := os.Create(*traceOut)
 				if cerr != nil {
 					fatal(cerr)
 				}
 				traceF = f
-				tracer = obs.NewTracer(obs.NewChromeSink(f))
+				sinks = append(sinks, obs.NewChromeSink(f))
+			}
+			if storeW != nil {
+				// Fresh run writer per attempt; a superseded attempt's
+				// writer is abandoned (never appended) below.
+				if srw != nil {
+					srw.Abort()
+				}
+				progLabel := *prog
+				if *asmFile != "" {
+					progLabel = *asmFile
+				}
+				srw = storeW.Begin(store.RunHeader{
+					Prog: progLabel, Tool: *tool, Engine: *engine,
+					Delivery: deliv.String(), Seed: *seed, Threads: *threads,
+				})
+				ssink := store.NewStoreSink(srw)
+				ssink.SymFn = symOf
+				sinks = append(sinks, ssink)
+			}
+			if len(sinks) > 0 {
+				tracer = obs.NewTracer(sinks...)
 				tracer.BlockEvents = *traceBlocks
 				hooks.Tracer = tracer
 			}
-			if *profileFile != "" {
+			if *profileFile != "" || storeW != nil {
 				prof = obs.NewProfiler(*profileEvery)
 				hooks.Prof = prof
 			}
@@ -276,10 +333,58 @@ func main() {
 		res = inst.Run()
 	}
 	injector := inj
+	tracerClosed := false
+	closeTracer := func() {
+		if tracer == nil || tracerClosed {
+			return
+		}
+		tracerClosed = true
+		if cerr := tracer.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		if traceF != nil {
+			traceF.Close()
+		}
+	}
+	// finishRecord completes the run-store block: final counters, profile
+	// samples, race rows, verdict and replay token. Called on every exit
+	// path so crashes are recorded too.
+	finishRecord := func(verdict string, reports int) {
+		if srw == nil {
+			return
+		}
+		closeTracer() // settles still-open spans through the store sink
+		inst.CaptureMetrics(reg)
+		srw.SetCounters(reg.Snapshot().Counters)
+		srw.SetWork(res.GuestInstrs, inst.M.BlocksExecuted, uint64(res.Wall))
+		srw.SetReplayToken(token)
+		t := tl
+		if tee, ok := t.(trace.Tee); ok {
+			t = tee.A
+		}
+		if tg, ok := t.(*core.Taskgrind); ok {
+			for _, row := range store.RacesFromSet(&tg.Reports) {
+				srw.AddRace(row)
+			}
+		}
+		prof.Each(func(pc, n uint64) { srw.Sample(pc, symOf(pc), n) })
+		errStr := ""
+		if res.Err != nil {
+			errStr = res.Err.Error()
+		}
+		srw.SetResult(verdict, reports, errStr)
+		if ferr := srw.Finish(); ferr != nil {
+			fatal(ferr)
+		}
+		if ferr := storeW.Close(); ferr != nil {
+			fatal(ferr)
+		}
+	}
 	if res.Crash != nil {
 		// A contained guest failure (invalid access, runaway watchdog,
 		// deadlock, host panic): render the Valgrind-style report,
 		// symbolized through the image, and exit 3.
+		finishRecord(harness.Classify(res.Err), 0)
 		fmt.Fprint(os.Stderr, res.Crash.Render(inst.M.Image))
 		if injector.Enabled() {
 			fmt.Fprintf(os.Stderr, "==taskgrind== fault injection: %s\n", injector.Summary())
@@ -287,14 +392,11 @@ func main() {
 		os.Exit(3)
 	}
 	if res.Err != nil {
+		finishRecord(harness.Classify(res.Err), 0)
 		fatal(res.Err)
 	}
-	if tracer != nil {
-		if cerr := tracer.Close(); cerr != nil {
-			fatal(cerr)
-		}
-		traceF.Close()
-	}
+	finishRecord(store.VerdictOK, count())
+	closeTracer()
 	if reg != nil {
 		// One snapshot feeds both the -v text dump and the -metrics JSON
 		// file, so the two views cannot disagree. Wall time stays out of
@@ -320,7 +422,7 @@ func main() {
 			mf.Close()
 		}
 	}
-	if prof != nil {
+	if prof != nil && *profileFile != "" {
 		pf, cerr := os.Create(*profileFile)
 		if cerr != nil {
 			fatal(cerr)

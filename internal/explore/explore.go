@@ -12,11 +12,9 @@ package explore
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/gbuild"
 	"repro/internal/harness"
-	"repro/internal/tools/toolreg"
 )
 
 // Failure describes one quarantined seed: a schedule whose run crashed,
@@ -78,47 +76,7 @@ func (o Outcome) String() string {
 // into Outcome.Failed/Failures rather than aborting the sweep; only setup
 // errors (unknown tool, unbuildable program) fail the whole call.
 func Run(build func() *gbuild.Builder, tool string, threads, nseeds, workers int) (Outcome, error) {
-	if workers <= 0 {
-		workers = 4
-	}
-	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
-	errs := make([]error, nseeds)
-	fails := make([]*Failure, nseeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < nseeds; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tl, count, err := toolreg.Make(tool)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, _, err := harness.BuildAndRun(build(), harness.Setup{
-				Tool: tl, Seed: uint64(i + 1), Threads: threads,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if res.Err != nil {
-				fails[i] = &Failure{Seed: i + 1, Kind: harness.Classify(res.Err), Err: res.Err.Error()}
-				return
-			}
-			out.Counts[i] = count()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	out.finish(fails)
-	return out, nil
+	return RunOpts(build, tool, threads, nseeds, Opts{Workers: workers})
 }
 
 // finish folds per-seed failures into the outcome and computes the summary
@@ -158,60 +116,5 @@ func (o *Outcome) finish(fails []*Failure) {
 // host-side engine defects degrade to the IR oracle instead of costing the
 // data point. opts.VerifyCrash is forced on.
 func RunSupervised(build func() *gbuild.Builder, tool string, threads, nseeds, workers int, opts harness.SuperviseOpts) (Outcome, error) {
-	if workers <= 0 {
-		workers = 4
-	}
-	// Validate the tool name once, up front: the per-attempt factory below
-	// has no error path.
-	if _, _, err := toolreg.Make(tool); err != nil {
-		return Outcome{Tool: tool, Seeds: nseeds}, err
-	}
-	opts.VerifyCrash = true
-	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
-	errs := make([]error, nseeds)
-	fails := make([]*Failure, nseeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < nseeds; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Attempts within one seed share the linked image (builders
-			// are single-link); each attempt gets a fresh tool instance.
-			im, err := build().Link()
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			var count func() int
-			factory := func() harness.Setup {
-				tl, c, _ := toolreg.Make(tool)
-				count = c
-				return harness.Setup{Image: im, Tool: tl, Seed: uint64(i + 1), Threads: threads}
-			}
-			sup, err := harness.Supervise(factory, opts)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if sup.Err != nil {
-				fails[i] = &Failure{Seed: i + 1, Kind: sup.Taxonomy,
-					Err: sup.Err.Error(), Reproduced: sup.Reproduced}
-				return
-			}
-			// count is bound to the last-built attempt's tool — the
-			// surviving instance (the fallback's when the run degraded).
-			out.Counts[i] = count()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	out.finish(fails)
-	return out, nil
+	return RunSupervisedOpts(build, tool, threads, nseeds, Opts{Workers: workers}, opts)
 }

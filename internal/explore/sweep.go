@@ -1,0 +1,296 @@
+package explore
+
+// Sweep recording: every seed's run — spans, instants, profile samples,
+// final counters, verdict and replay token — lands in one shared columnar
+// run store, so a 1000-seed sweep becomes a queryable dataset instead of a
+// pile of per-run files. Rebuild reconstructs the in-process Outcome from
+// the recorded headers bit-identically; `taskgrind query agg` is built on
+// it.
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/obs/store"
+	"repro/internal/tools/toolreg"
+)
+
+// Opts extends a sweep beyond the positional basics.
+type Opts struct {
+	// Workers bounds concurrent machines (0 = 4).
+	Workers int
+	// Prog labels recorded runs (the run-store header's program field).
+	Prog string
+	// Engine selects the DBI engine for every seed ("" = tool default);
+	// also recorded in run headers.
+	Engine string
+	// Record, when non-nil, records every seed's run — including
+	// quarantined crashes — into the store.
+	Record *store.Writer
+	// TokenFor builds seed's replay token (stamped into recorded headers
+	// and onto supervised crash reports). Optional.
+	TokenFor func(seed int) string
+}
+
+// recording bundles one seed's observability attachments while it records.
+type recording struct {
+	rw   *store.RunWriter
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	prof *obs.Profiler
+}
+
+// beginRecording opens a run in the store and builds the hooks that feed it.
+func beginRecording(o Opts, tool string, threads, seed int, im *guest.Image) *recording {
+	if o.Record == nil {
+		return nil
+	}
+	rr := &recording{
+		reg:  obs.NewRegistry(),
+		prof: obs.NewProfiler(1),
+	}
+	rr.rw = o.Record.Begin(store.RunHeader{
+		Prog: o.Prog, Tool: tool, Engine: o.Engine,
+		Seed: uint64(seed), Threads: threads,
+	})
+	sink := store.NewStoreSink(rr.rw)
+	if im != nil {
+		sink.SymFn = func(pc uint64) string {
+			if sym := im.SymbolFor(pc); sym != nil {
+				return sym.Name
+			}
+			return ""
+		}
+	}
+	rr.tr = obs.NewTracer(sink)
+	return rr
+}
+
+// hooks returns the obs attachment for the recorded attempt.
+func (rr *recording) hooks() *obs.Hooks {
+	if rr == nil {
+		return nil
+	}
+	return &obs.Hooks{Metrics: rr.reg, Tracer: rr.tr, Prof: rr.prof}
+}
+
+// finish captures the run's final state into the store. inst is the
+// surviving instance (fallback when the run degraded); token/verdict/
+// reports/reproduced describe the outcome.
+func (rr *recording) finish(inst *harness.Instance, res harness.Result,
+	verdict string, reports int, reproduced bool, token string) error {
+	if rr == nil {
+		return nil
+	}
+	_ = rr.tr.Close() // settles still-open spans in the store sink
+	if inst != nil {
+		inst.CaptureMetrics(rr.reg)
+		rr.rw.SetWork(res.GuestInstrs, inst.M.BlocksExecuted, uint64(res.Wall))
+		if tg, ok := inst.Core.Tool().(*core.Taskgrind); ok {
+			for _, row := range store.RacesFromSet(&tg.Reports) {
+				rr.rw.AddRace(row)
+			}
+		}
+	}
+	rr.rw.SetCounters(rr.reg.Snapshot().Counters)
+	rr.rw.SetReplayToken(token)
+	rr.rw.SetReproduced(reproduced)
+	if verdict == "" {
+		verdict = store.VerdictOK
+	}
+	errStr := ""
+	if res.Err != nil {
+		errStr = res.Err.Error()
+	}
+	rr.rw.SetResult(verdict, reports, errStr)
+	var im *guest.Image
+	if inst != nil {
+		im = inst.M.Image
+	}
+	rr.prof.Each(func(pc, count uint64) {
+		sym := ""
+		if im != nil {
+			if s := im.SymbolFor(pc); s != nil {
+				sym = s.Name
+			}
+		}
+		rr.rw.Sample(pc, sym, count)
+	})
+	return rr.rw.Finish()
+}
+
+// RunOpts explores nseeds schedules (seeds 1..n) like Run, with recording
+// and engine selection from o.
+func RunOpts(build func() *gbuild.Builder, tool string, threads, nseeds int, o Opts) (Outcome, error) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	errs := make([]error, nseeds)
+	fails := make([]*Failure, nseeds)
+	done := make(chan int, workers)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < nseeds; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tl, count, err := toolreg.Make(tool)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			im, err := build().Link()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rr := beginRecording(o, tool, threads, i+1, im)
+			inst, err := harness.New(harness.Setup{
+				Image: im, Tool: tl, Seed: uint64(i + 1), Threads: threads,
+				Engine: o.Engine, Obs: rr.hooks(),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res := inst.Run()
+			token := ""
+			if o.TokenFor != nil {
+				token = o.TokenFor(i + 1)
+			}
+			if res.Err != nil {
+				fails[i] = &Failure{Seed: i + 1, Kind: harness.Classify(res.Err), Err: res.Err.Error()}
+				errs[i] = rr.finish(inst, res, fails[i].Kind, 0, false, token)
+				return
+			}
+			out.Counts[i] = count()
+			errs[i] = rr.finish(inst, res, store.VerdictOK, out.Counts[i], false, token)
+		}(i)
+	}
+	for n := 0; n < nseeds; n++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	out.finish(fails)
+	return out, nil
+}
+
+// RunSupervisedOpts explores like RunSupervised, with recording and engine
+// selection from o. Only the first attempt of each seed is traced (replay
+// and fallback attempts re-execute the recorded timeline); the surviving
+// attempt's counters, reports and verdict complete the recorded header.
+func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseeds int, o Opts, sopts harness.SuperviseOpts) (Outcome, error) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if _, _, err := toolreg.Make(tool); err != nil {
+		return Outcome{Tool: tool, Seeds: nseeds}, err
+	}
+	sopts.VerifyCrash = true
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	errs := make([]error, nseeds)
+	fails := make([]*Failure, nseeds)
+	done := make(chan int, workers)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < nseeds; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			im, err := build().Link()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rr := beginRecording(o, tool, threads, i+1, im)
+			seedOpts := sopts
+			if o.TokenFor != nil && seedOpts.Token == "" {
+				seedOpts.Token = o.TokenFor(i + 1)
+			}
+			var count func() int
+			attempts := 0
+			factory := func() harness.Setup {
+				tl, c, _ := toolreg.Make(tool)
+				count = c
+				s := harness.Setup{
+					Image: im, Tool: tl, Seed: uint64(i + 1),
+					Threads: threads, Engine: o.Engine,
+				}
+				if attempts == 0 {
+					s.Obs = rr.hooks()
+				}
+				attempts++
+				return s
+			}
+			sup, err := harness.Supervise(factory, seedOpts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if sup.Err != nil {
+				fails[i] = &Failure{Seed: i + 1, Kind: sup.Taxonomy,
+					Err: sup.Err.Error(), Reproduced: sup.Reproduced}
+				errs[i] = rr.finish(sup.Inst, sup.Result, sup.Taxonomy, 0,
+					sup.Reproduced, seedOpts.Token)
+				return
+			}
+			out.Counts[i] = count()
+			errs[i] = rr.finish(sup.Inst, sup.Result, store.VerdictOK,
+				out.Counts[i], sup.Reproduced, seedOpts.Token)
+		}(i)
+	}
+	for n := 0; n < nseeds; n++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	out.finish(fails)
+	return out, nil
+}
+
+// Rebuild reconstructs a sweep's Outcome from recorded run headers — the
+// cross-seed aggregation `taskgrind query agg` prints. Given the complete
+// header set of one sweep (seeds 1..N, one run per seed), the result is
+// bit-identical to the Outcome the in-process sweep returned: same verdict
+// matrix, same failure taxonomy, same summary statistics.
+func Rebuild(tool string, headers []store.RunHeader) Outcome {
+	hs := append([]store.RunHeader(nil), headers...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Seed < hs[j].Seed })
+	nseeds := 0
+	for _, h := range hs {
+		if int(h.Seed) > nseeds {
+			nseeds = int(h.Seed)
+		}
+	}
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	fails := make([]*Failure, nseeds)
+	for _, h := range hs {
+		if h.Seed == 0 || int(h.Seed) > nseeds {
+			continue
+		}
+		i := int(h.Seed) - 1
+		if h.Verdict == store.VerdictOK {
+			out.Counts[i] = h.Reports
+			fails[i] = nil
+			continue
+		}
+		fails[i] = &Failure{Seed: int(h.Seed), Kind: h.Verdict,
+			Err: h.Err, Reproduced: h.Reproduced}
+	}
+	out.finish(fails)
+	return out
+}

@@ -92,6 +92,9 @@ type Injector struct {
 	// not) — the hook the replay journal records injection streams
 	// through.
 	Observe func(kind Kind, fired bool)
+	// OnFire, when set, is called for every decision that actually fires —
+	// the hook the tracer records injection instants through.
+	OnFire func(kind Kind)
 }
 
 // New creates an injector with no kinds enabled.
@@ -138,6 +141,9 @@ func (in *Injector) Fire(kind Kind) bool {
 	}
 	if in.Observe != nil {
 		in.Observe(kind, hit)
+	}
+	if hit && in.OnFire != nil {
+		in.OnFire(kind)
 	}
 	return hit
 }

@@ -100,6 +100,8 @@ type Instance struct {
 	Journal *snapshot.Journal
 	// ReplayToken is stamped onto crash reports (see Setup.ReplayToken).
 	ReplayToken string
+	// Obs echoes Setup.Obs (nil when observability is off).
+	Obs *obs.Hooks
 }
 
 // New builds an instance.
@@ -195,8 +197,17 @@ func New(s Setup) (*Instance, error) {
 		inst.OMP.Events = &ompt.Bridge{Core: inst.Core}
 	}
 	if s.Obs != nil {
+		inst.Obs = s.Obs
 		inst.Core.SetObs(s.Obs)
 		inst.OMP.SetObs(s.Obs)
+		if in := inst.Inject; in != nil && s.Obs.Tracing() {
+			// Injection firings become trace instants (thread -1: the
+			// decision is drawn inside a host call, before attribution).
+			tr := s.Obs.Tracer
+			in.OnFire = func(k faultinject.Kind) {
+				tr.Instant(m.BlocksExecuted, -1, "inject", k.String(), nil)
+			}
+		}
 	}
 	return inst, nil
 }
@@ -262,6 +273,9 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("pool_frees_total").Set(r.Pool.TotalFree)
 
 	inst.Inject.PublishMetrics(reg)
+	if inst.Obs != nil {
+		inst.Obs.Tracer.PublishMetrics(reg)
+	}
 
 	heap := inst.Lib.Heap
 	reg.Counter("heap_allocs_total").Set(heap.TotalAlloc)

@@ -68,6 +68,23 @@ func (p *Profiler) Total() uint64 {
 	return p.total
 }
 
+// Each visits every (block entry PC, weighted count) sample pair in
+// ascending PC order — the deterministic iteration recording backends use
+// to persist the profile.
+func (p *Profiler) Each(fn func(pc, count uint64)) {
+	if p == nil {
+		return
+	}
+	pcs := make([]uint64, 0, len(p.samples))
+	for pc := range p.samples {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		fn(pc, p.samples[pc])
+	}
+}
+
 // BySymbol aggregates the samples per enclosing symbol — the granularity at
 // which extended and unextended profiles are comparable (extension fuses
 // jumps within a function but never crosses call or return edges).

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -49,6 +50,11 @@ func (r *RingSink) Events() []Event {
 // Dropped returns how many events fell off the ring.
 func (r *RingSink) Dropped() uint64 { return r.dropped }
 
+// SinkMetrics implements SinkMetrics: ring overflow is trace loss.
+func (r *RingSink) SinkMetrics(put func(name string, v uint64)) {
+	put("trace_ring_dropped_total", r.dropped)
+}
+
 // Close implements Sink.
 func (r *RingSink) Close() error { return nil }
 
@@ -80,16 +86,21 @@ func toJSONEvent(ev Event) jsonEvent {
 }
 
 // JSONLSink writes one JSON object per line — the machine-readable stream
-// format for ad-hoc processing (jq, scripts).
+// format for ad-hoc processing (jq, scripts). Writes are buffered off the
+// tracing fast path; the first encode/write error latches and is reported
+// by Close, matching ChromeSink.
 type JSONLSink struct {
+	bw  *bufio.Writer
 	enc *json.Encoder
 	c   io.Closer
+	err error
 }
 
 // NewJSONLSink writes JSON lines to w; if w is an io.Closer it is closed by
 // Close.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	s := &JSONLSink{enc: json.NewEncoder(w)}
+	s := &JSONLSink{bw: bufio.NewWriter(w)}
+	s.enc = json.NewEncoder(s.bw)
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
@@ -98,15 +109,24 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Write implements Sink.
 func (s *JSONLSink) Write(ev Event) {
-	// Encode errors surface at Close via the writer; per-event error
-	// handling would put branching on the tracing fast path for no gain.
-	_ = s.enc.Encode(toJSONEvent(ev))
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(toJSONEvent(ev))
 }
 
-// Close implements Sink.
+// Close flushes the buffer and reports the first error seen.
 func (s *JSONLSink) Close() error {
+	if ferr := s.bw.Flush(); ferr != nil && s.err == nil {
+		s.err = ferr
+	}
 	if s.c != nil {
-		return s.c.Close()
+		if cerr := s.c.Close(); cerr != nil && s.err == nil {
+			s.err = cerr
+		}
+	}
+	if s.err != nil {
+		return fmt.Errorf("obs: jsonl sink: %w", s.err)
 	}
 	return nil
 }

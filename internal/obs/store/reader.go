@@ -1,0 +1,456 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// segment is one fully loaded segment file.
+type segment struct {
+	path      string
+	data      []byte
+	metas     []BlockMeta
+	recovered bool // footer missing/invalid; metas rebuilt by scanning
+}
+
+// Reader opens a store directory for querying. All segment bytes are held
+// in memory (segments rotate at a few MB); queries decode only the blocks
+// the footer index cannot rule out.
+type Reader struct {
+	segs []segment
+
+	// NoPrune disables footer-index block skipping — every block is
+	// decoded and row-filtered. The pruning-equivalence tests compare
+	// pruned and unpruned results.
+	NoPrune bool
+
+	// ScannedBlocks / PrunedBlocks count, cumulatively across queries, the
+	// blocks decoded vs skipped via the footer index.
+	ScannedBlocks uint64
+	PrunedBlocks  uint64
+}
+
+// OpenReader loads every segment in dir. Segments without a valid footer
+// (crash mid-flush) are recovered by scanning their CRC-framed blocks; a
+// torn final frame is dropped, never the blocks before it.
+func OpenReader(dir string) (*Reader, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.tgseg"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("store: no segments in %s", dir)
+	}
+	sort.Strings(paths)
+	r := &Reader{}
+	for _, p := range paths {
+		metas, data, err := readSegment(p)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", filepath.Base(p), err)
+		}
+		recovered := !hasFooter(data)
+		r.segs = append(r.segs, segment{path: p, data: data, metas: metas, recovered: recovered})
+	}
+	return r, nil
+}
+
+func hasFooter(data []byte) bool {
+	_, ok := footerOf(data)
+	return ok
+}
+
+// footerOf extracts the footer index if the trailer is intact.
+func footerOf(data []byte) ([]BlockMeta, bool) {
+	if len(data) < len(segMagic)+12 {
+		return nil, false
+	}
+	tail := data[len(data)-12:]
+	if string(tail[8:12]) != footMagic {
+		return nil, false
+	}
+	crc := binary.LittleEndian.Uint32(tail[0:4])
+	n := int(binary.LittleEndian.Uint32(tail[4:8]))
+	end := len(data) - 12
+	if n > end-len(segMagic) {
+		return nil, false
+	}
+	js := data[end-n : end]
+	if crc32.ChecksumIEEE(js) != crc {
+		return nil, false
+	}
+	var metas []BlockMeta
+	if err := json.Unmarshal(js, &metas); err != nil {
+		return nil, false
+	}
+	return metas, true
+}
+
+// readSegment loads one segment, preferring the footer index and falling
+// back to a block scan when the footer never landed.
+func readSegment(path string) ([]BlockMeta, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil, nil, fmt.Errorf("bad segment magic")
+	}
+	if metas, ok := footerOf(data); ok {
+		return metas, data, nil
+	}
+	return scanBlocks(data), data, nil
+}
+
+// scanBlocks rebuilds block metadata by walking CRC frames from the start
+// of a footerless segment. The first torn or corrupt frame ends the scan:
+// everything before it is intact and kept. Recovered metas carry the run
+// identity (decoded from the block header) but no range index, so they are
+// never pruned.
+func scanBlocks(data []byte) []BlockMeta {
+	var metas []BlockMeta
+	off := len(segMagic)
+	for {
+		if off+12 > len(data) || string(data[off:off+4]) != blockMagic {
+			return metas
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		crc := binary.LittleEndian.Uint32(data[off+8 : off+12])
+		if n < 0 || off+12+n > len(data) {
+			return metas
+		}
+		payload := data[off+12 : off+12+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return metas
+		}
+		m := BlockMeta{Off: int64(off), Len: int64(12 + n), TSMax: ^uint64(0)}
+		if h, err := decodeHeader(payload); err == nil {
+			m.Run, m.Prog, m.Tool, m.Seed, m.Verdict = h.ID, h.Prog, h.Tool, h.Seed, h.Verdict
+		}
+		metas = append(metas, m)
+		off += 12 + n
+	}
+}
+
+// decodeHeader decodes just the header JSON section of a block payload.
+func decodeHeader(payload []byte) (RunHeader, error) {
+	d := &dec{buf: payload}
+	hs := d.bytesSection()
+	var h RunHeader
+	if d.err != nil {
+		return h, d.err
+	}
+	if err := json.Unmarshal(hs.buf, &h); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// decodeBlock fully decodes one run block payload.
+func decodeBlock(payload []byte) (RunData, error) {
+	var rd RunData
+	d := &dec{buf: payload}
+	hs := d.bytesSection()
+	if d.err == nil {
+		if err := json.Unmarshal(hs.buf, &rd.Header); err != nil {
+			return rd, fmt.Errorf("store: block header: %w", err)
+		}
+	}
+	strs := decodeDict(d.bytesSection())
+
+	nSpans := d.u64()
+	cols := func(k int) []*dec {
+		out := make([]*dec, k)
+		for i := range out {
+			out[i] = d.bytesSection()
+		}
+		return out
+	}
+	sc := cols(7)
+	if d.err == nil && nSpans <= uint64(len(payload)) {
+		rd.Spans = make([]Span, 0, nSpans)
+		prev := uint64(0)
+		for i := uint64(0); i < nSpans; i++ {
+			start := prev + sc[0].u64()
+			prev = start
+			rd.Spans = append(rd.Spans, Span{
+				Run:    rd.Header.ID,
+				Start:  start,
+				End:    start + sc[1].u64(),
+				Thread: int(sc[2].i64()),
+				Kind:   dictStr(strs, sc[3].u64()),
+				Name:   dictStr(strs, sc[4].u64()),
+				Sym:    dictStr(strs, sc[5].u64()),
+				PC:     sc[6].u64(),
+			})
+		}
+	}
+
+	nInst := d.u64()
+	ic := cols(5)
+	if d.err == nil && nInst <= uint64(len(payload)) {
+		rd.Instants = make([]Instant, 0, nInst)
+		prev := uint64(0)
+		for i := uint64(0); i < nInst; i++ {
+			ts := prev + ic[0].u64()
+			prev = ts
+			rd.Instants = append(rd.Instants, Instant{
+				Run:    rd.Header.ID,
+				TS:     ts,
+				Thread: int(ic[1].i64()),
+				Kind:   dictStr(strs, ic[2].u64()),
+				Name:   dictStr(strs, ic[3].u64()),
+				Arg:    ic[4].u64(),
+			})
+		}
+	}
+
+	nSamp := d.u64()
+	pc := cols(3)
+	if d.err == nil && nSamp <= uint64(len(payload)) {
+		rd.Samples = make([]Sample, 0, nSamp)
+		prev := uint64(0)
+		for i := uint64(0); i < nSamp; i++ {
+			p := prev + pc[0].u64()
+			prev = p
+			rd.Samples = append(rd.Samples, Sample{
+				Run:    rd.Header.ID,
+				PC:     p,
+				Sym:    dictStr(strs, pc[1].u64()),
+				Weight: pc[2].u64(),
+			})
+		}
+	}
+	if d.err != nil {
+		return rd, d.err
+	}
+	for _, c := range append(append(sc, ic...), pc...) {
+		if c.err != nil {
+			return rd, c.err
+		}
+	}
+	return rd, nil
+}
+
+// Q is a query predicate. The zero value matches everything; set fields to
+// narrow. Identity predicates (Run, Tool, Prog, Verdict, Seed) apply to run
+// headers and blocks; range predicates (MinTS/MaxTS, Thread, Sym, Kind)
+// apply to event rows, and prune whole blocks via the footer index before
+// any decoding.
+type Q struct {
+	Run     uint64 // 0 = any (run IDs start at 1)
+	Tool    string
+	Prog    string
+	Verdict string
+	Seed    *uint64
+
+	MinTS uint64
+	MaxTS uint64 // 0 = unbounded
+	// Thread filters rows to one guest thread (nil = any).
+	Thread *int
+	// Sym matches a span/sample symbol or name, or an instant name.
+	Sym string
+	// Kind matches the span/instant kind.
+	Kind string
+}
+
+// matchIdentity reports whether a block/run identity passes q.
+func (q Q) matchIdentity(run uint64, prog, tool string, seed uint64, verdict string) bool {
+	if q.Run != 0 && run != q.Run {
+		return false
+	}
+	if q.Prog != "" && prog != q.Prog {
+		return false
+	}
+	if q.Tool != "" && tool != q.Tool {
+		return false
+	}
+	if q.Verdict != "" && verdict != q.Verdict {
+		return false
+	}
+	if q.Seed != nil && seed != *q.Seed {
+		return false
+	}
+	return true
+}
+
+// pruneEvents reports whether the footer index proves no event row in the
+// block can match q. Recovered blocks (no range index) are never pruned.
+func (q Q) pruneEvents(m BlockMeta) bool {
+	if q.MaxTS != 0 && m.TSMin > q.MaxTS {
+		return true
+	}
+	if q.MinTS != 0 && m.TSMax < q.MinTS {
+		return true
+	}
+	if q.Thread != nil && m.Threads != nil {
+		found := false
+		for _, t := range m.Threads {
+			if t == *q.Thread {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+	if q.Sym != "" && m.Syms != nil {
+		i := sort.SearchStrings(m.Syms, q.Sym)
+		if i >= len(m.Syms) || m.Syms[i] != q.Sym {
+			return true
+		}
+	}
+	if q.Kind != "" && m.Syms != nil {
+		// Kinds are interned in the same dictionary as symbols.
+		i := sort.SearchStrings(m.Syms, q.Kind)
+		if i >= len(m.Syms) || m.Syms[i] != q.Kind {
+			return true
+		}
+	}
+	return false
+}
+
+// scan decodes every block that survives pruning and hands it to fn.
+func (r *Reader) scan(q Q, events bool, fn func(rd RunData)) error {
+	for si := range r.segs {
+		seg := &r.segs[si]
+		for _, m := range seg.metas {
+			if !r.NoPrune {
+				if !q.matchIdentity(m.Run, m.Prog, m.Tool, m.Seed, m.Verdict) ||
+					(events && q.pruneEvents(m)) {
+					r.PrunedBlocks++
+					continue
+				}
+			}
+			r.ScannedBlocks++
+			if m.Off+m.Len > int64(len(seg.data)) {
+				return fmt.Errorf("store: %s: block range out of file", filepath.Base(seg.path))
+			}
+			payload := seg.data[m.Off+12 : m.Off+m.Len]
+			rd, err := decodeBlock(payload)
+			if err != nil {
+				return fmt.Errorf("store: %s: %w", filepath.Base(seg.path), err)
+			}
+			if r.NoPrune && !q.matchIdentity(rd.Header.ID, rd.Header.Prog, rd.Header.Tool, rd.Header.Seed, rd.Header.Verdict) {
+				continue
+			}
+			fn(rd)
+		}
+	}
+	return nil
+}
+
+// Runs returns the headers of every run matching q's identity predicates,
+// ordered by run ID.
+func (r *Reader) Runs(q Q) ([]RunHeader, error) {
+	var out []RunHeader
+	err := r.scan(q, false, func(rd RunData) { out = append(out, rd.Header) })
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, err
+}
+
+// matchSpan applies q's row predicates to one span.
+func (q Q) matchSpan(s Span) bool {
+	if q.MaxTS != 0 && s.Start > q.MaxTS {
+		return false
+	}
+	if q.MinTS != 0 && s.End < q.MinTS {
+		return false
+	}
+	if q.Thread != nil && s.Thread != *q.Thread {
+		return false
+	}
+	if q.Sym != "" && s.Sym != q.Sym && s.Name != q.Sym {
+		return false
+	}
+	if q.Kind != "" && s.Kind != q.Kind {
+		return false
+	}
+	return true
+}
+
+// Spans returns every span matching q, ordered by (run, start).
+func (r *Reader) Spans(q Q) ([]Span, error) {
+	var out []Span
+	err := r.scan(q, true, func(rd RunData) {
+		for _, s := range rd.Spans {
+			if q.matchSpan(s) {
+				out = append(out, s)
+			}
+		}
+	})
+	return out, err
+}
+
+// matchInstant applies q's row predicates to one instant.
+func (q Q) matchInstant(in Instant) bool {
+	if q.MaxTS != 0 && in.TS > q.MaxTS {
+		return false
+	}
+	if q.MinTS != 0 && in.TS < q.MinTS {
+		return false
+	}
+	if q.Thread != nil && in.Thread != *q.Thread {
+		return false
+	}
+	if q.Sym != "" && in.Name != q.Sym {
+		return false
+	}
+	if q.Kind != "" && in.Kind != q.Kind {
+		return false
+	}
+	return true
+}
+
+// Instants returns every instant matching q, ordered by (run, ts).
+func (r *Reader) Instants(q Q) ([]Instant, error) {
+	var out []Instant
+	err := r.scan(q, true, func(rd RunData) {
+		for _, in := range rd.Instants {
+			if q.matchInstant(in) {
+				out = append(out, in)
+			}
+		}
+	})
+	return out, err
+}
+
+// Samples returns every profile sample matching q, ordered by (run, pc).
+func (r *Reader) Samples(q Q) ([]Sample, error) {
+	var out []Sample
+	err := r.scan(q, true, func(rd RunData) {
+		for _, s := range rd.Samples {
+			if q.Sym != "" && s.Sym != q.Sym {
+				continue
+			}
+			out = append(out, s)
+		}
+	})
+	return out, err
+}
+
+// Data returns fully decoded runs matching q's identity predicates (row
+// predicates are not applied — callers get whole runs for joins).
+func (r *Reader) Data(q Q) ([]RunData, error) {
+	var out []RunData
+	err := r.scan(q, false, func(rd RunData) { out = append(out, rd) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Header.ID < out[j].Header.ID })
+	return out, err
+}
+
+// Recovered reports how many segments were loaded without a valid footer
+// (torn-tail scan recovery).
+func (r *Reader) Recovered() int {
+	n := 0
+	for _, s := range r.segs {
+		if s.recovered {
+			n++
+		}
+	}
+	return n
+}

@@ -33,6 +33,13 @@ type Sink interface {
 	Close() error
 }
 
+// SinkMetrics is implemented by sinks that account for trace loss or other
+// recording statistics; Tracer.PublishMetrics surfaces them as counters so
+// dropped events show up in -v output instead of disappearing silently.
+type SinkMetrics interface {
+	SinkMetrics(put func(name string, v uint64))
+}
+
 // Tracer fans events out to its sinks. A nil *Tracer is valid and drops
 // everything, so subsystems can emit unconditionally through a possibly-nil
 // pointer. BlockEvents gates the very-high-frequency per-block dispatch
@@ -104,6 +111,23 @@ func (tr *Tracer) Diagnostics() uint64 {
 		return 0
 	}
 	return tr.diags
+}
+
+// PublishMetrics copies tracer and sink accounting (events emitted, ring
+// drops, store batch/drop counts) into the registry. Call at capture time.
+func (tr *Tracer) PublishMetrics(reg *Registry) {
+	if tr == nil || reg == nil {
+		return
+	}
+	reg.Counter("trace_events_total").Set(tr.events)
+	reg.Counter("trace_diagnostics_total").Set(tr.diags)
+	for _, s := range tr.sinks {
+		if sm, ok := s.(SinkMetrics); ok {
+			sm.SinkMetrics(func(name string, v uint64) {
+				reg.Counter(name).Set(v)
+			})
+		}
+	}
 }
 
 // Close closes every sink, returning the first error.

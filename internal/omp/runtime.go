@@ -117,6 +117,8 @@ type barrier struct {
 type Region struct {
 	ID      uint64
 	Desc    uint64
+	// Fn is the outlined parallel-region body's guest address.
+	Fn      uint64
 	Members []*ThreadState
 	// incompleteTasks counts explicit tasks bound to the region.
 	incompleteTasks int
@@ -355,6 +357,7 @@ func (r *Runtime) hForkSetup(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	reg := &Region{
 		ID:            r.nextRegionID,
 		Desc:          desc,
+		Fn:            fn,
 		singleClaimed: make(map[uint64]bool),
 		master:        master,
 	}
@@ -383,7 +386,7 @@ func (r *Runtime) hForkSetup(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	}
 	reg.implicitLive = len(reg.Members)
 	r.Events.ParallelBegin(t, reg.ID, len(reg.Members), fn)
-	r.emit(obs.PhaseBegin, t, "parallel", map[string]any{"region": reg.ID, "members": len(reg.Members)})
+	r.emit(obs.PhaseBegin, t, "parallel", map[string]any{"region": reg.ID, "members": len(reg.Members), "fn": fn})
 	// Release the workers into the region (pendingRegion was set at claim
 	// time).
 	for _, ts := range reg.Members[1:] {
@@ -443,7 +446,7 @@ func (r *Runtime) hImplicitBegin(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.taskStack = append(ts.taskStack, ts.cur)
 	ts.cur = task
 	r.Events.ImplicitBegin(t, reg.ID, task.ID, ts.ThreadNum)
-	r.emit(obs.PhaseBegin, t, "implicit", map[string]any{"task": task.ID, "region": reg.ID})
+	r.emit(obs.PhaseBegin, t, "implicit", map[string]any{"task": task.ID, "region": reg.ID, "fn": reg.Fn})
 	return vm.HostResult{Ret: reg.Desc}
 }
 

@@ -79,7 +79,7 @@ func (r *Runtime) hTaskEnqueue(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	r.Events.TaskCreate(t, task.ID, parent.ID, task.Flags, task.Fn, desc)
 	r.ctrTaskCreate.Inc()
 	r.emit(obs.PhaseInstant, t, "task_create",
-		map[string]any{"task": task.ID, "parent": parent.ID})
+		map[string]any{"task": task.ID, "parent": parent.ID, "fn": task.Fn})
 
 	// Dependence matching against siblings (same parent namespace).
 	for i := 0; i < ndeps; i++ {
@@ -231,7 +231,7 @@ func (r *Runtime) hTaskBegin(m *vm.Machine, t *vm.Thread) vm.HostResult {
 	ts.cur = task
 	r.Events.TaskBegin(t, task.ID)
 	r.ctrTaskBegin.Inc()
-	r.emit(obs.PhaseBegin, t, "task", map[string]any{"task": task.ID})
+	r.emit(obs.PhaseBegin, t, "task", map[string]any{"task": task.ID, "fn": task.Fn})
 	return vm.HostResult{Ret: desc}
 }
 

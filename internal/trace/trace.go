@@ -132,10 +132,16 @@ func (r *Recorder) Fini(c *dbi.Core) {
 	})
 }
 
-// Gantt renders the timeline: one row per thread, columns are block-time
-// buckets, letters identify tasks.
+// Gantt renders the recorder's timeline (see the package-level Gantt).
 func (r *Recorder) Gantt(w io.Writer, width int) error {
-	if len(r.Spans) == 0 {
+	return Gantt(w, r.Spans, width)
+}
+
+// Gantt renders a task timeline: one row per thread, columns are block-time
+// buckets, letters identify tasks. spans may come from a live Recorder or
+// from a recorded run store.
+func Gantt(w io.Writer, spans []Span, width int) error {
+	if len(spans) == 0 {
 		_, err := fmt.Fprintln(w, "(no task spans recorded)")
 		return err
 	}
@@ -145,7 +151,7 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 	var maxEnd uint64
 	maxThread := 0
 	ids := map[uint64]int{}
-	for _, s := range r.Spans {
+	for _, s := range spans {
 		if s.End > maxEnd {
 			maxEnd = s.End
 		}
@@ -165,7 +171,7 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 	}
 	for tid := 0; tid <= maxThread; tid++ {
 		row := bytesRepeat('.', width)
-		for _, s := range r.Spans {
+		for _, s := range spans {
 			if s.Thread != tid {
 				continue
 			}
@@ -189,7 +195,7 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 	}
 	var legend []ent
 	seen := map[uint64]bool{}
-	for _, s := range r.Spans {
+	for _, s := range spans {
 		if !seen[s.TaskID] && s.Label != "" && s.Label != "implicit" {
 			seen[s.TaskID] = true
 			legend = append(legend, ent{s.TaskID, s.Label})
