@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke bench-rec perf-guard query-smoke fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
 # focused batched-delivery pass), the replay-determinism gate, the fuzzer
 # smoke run, both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke
-# does not overwrite the recorded BENCH_perf.json), and the hot-path +
-# checkpoint-overhead + recording-overhead regression guards against the
-# recorded baseline, and the record-and-query smoke.
-check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke query-smoke perf-guard
+# does not overwrite the recorded BENCH_perf.json), the record-and-query
+# smoke, the daemon load + chaos-soak tests, and the hot-path +
+# checkpoint-overhead + recording-overhead + serve-throughput regression
+# guards against the recorded baseline.
+check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +68,22 @@ bench-perf-smoke:
 bench-rec:
 	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkRecording' -benchtime 3x .
 
+# Daemon throughput (jobs/sec + p99 queue wait on a 200-job task.c sweep
+# through the serve worker pool); writes the "serve" section of
+# BENCH_perf.json.
+bench-serve:
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 3x .
+
+# Daemon robustness under load: the pure-volume load test (thousands of
+# small jobs; LOADTEST=1 raises the volume) and the chaos soak (hundreds of
+# concurrent fault-injected jobs; the daemon must stay healthy, classify
+# every failure with a replay token, and reproduce crashes byte-for-byte on
+# token re-submission). Fresh run (-count=1) so the gate never passes on a
+# cached result.
+loadtest:
+	LOADTEST=1 $(GO) test -count=1 -run 'TestServeLoad' .
+	$(GO) test -count=1 -run 'TestChaosSoak' ./internal/serve
+
 # Record-and-query smoke: a short sweep into a throwaway store, then every
 # query verb against it. Exercises the CLI end to end, including the golden
 # and cross-seed-aggregation acceptance tests. Fresh run (-count=1) so the
@@ -75,11 +92,13 @@ query-smoke:
 	$(GO) test -count=1 -run 'TestQueryGolden|TestQueryCLISmoke|TestExploreRecordAggBitIdentical' ./cmd/taskgrind
 
 # Regression guards: re-measures the compiled engine's hot ns/block (fails
-# on >20% regression) and the ckpt-16 checkpoint overhead ratio (fails at
-# 1.5x the recorded ratio) against the baseline recorded in BENCH_perf.json
-# by `make bench-perf` (best-of-3, so only a real slowdown trips either).
+# on >20% regression), the ckpt-16 checkpoint overhead ratio (fails at
+# 1.5x the recorded ratio) and daemon throughput (fails below 1/1.5 of the
+# recorded jobs/sec) against the baseline recorded in BENCH_perf.json by
+# `make bench-perf` / `make bench-serve` (best-of-3, so only a real
+# slowdown trips any of them).
 perf-guard:
-	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression' .
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression|TestServeThroughputRegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

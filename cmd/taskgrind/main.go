@@ -31,12 +31,11 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/gasm"
 	"repro/internal/gbuild"
-	"repro/internal/guest"
 	"repro/internal/harness"
 	"repro/internal/lulesh"
 	"repro/internal/obs"
 	"repro/internal/obs/store"
-	"repro/internal/omp"
+	"repro/internal/progs"
 	"repro/internal/snapshot"
 	"repro/internal/tools/archer"
 	"repro/internal/tools/memcheck"
@@ -58,6 +57,12 @@ func main() {
 		case "explore":
 			runExplore(os.Args[2:], os.Stdout)
 			return
+		case "submit":
+			os.Exit(runSubmit(os.Args[2:], os.Stdout))
+		case "status":
+			os.Exit(runStatus(os.Args[2:], os.Stdout))
+		case "cancel":
+			os.Exit(runCancel(os.Args[2:], os.Stdout))
 		}
 	}
 	var (
@@ -381,15 +386,16 @@ func main() {
 		}
 	}
 	if res.Crash != nil {
-		// A contained guest failure (invalid access, runaway watchdog,
-		// deadlock, host panic): render the Valgrind-style report,
-		// symbolized through the image, and exit 3.
+		// A contained failure: render the Valgrind-style report, symbolized
+		// through the image, and exit with the failure taxonomy's documented
+		// code (fault=3, panic=4, timeout=5, deadlock=6, divergence=7,
+		// canceled=8; see README).
 		finishRecord(harness.Classify(res.Err), 0)
 		fmt.Fprint(os.Stderr, res.Crash.Render(inst.M.Image))
 		if injector.Enabled() {
 			fmt.Fprintf(os.Stderr, "==taskgrind== fault injection: %s\n", injector.Summary())
 		}
-		os.Exit(3)
+		os.Exit(harness.ExitCodeFor(harness.Classify(res.Err)))
 	}
 	if res.Err != nil {
 		finishRecord(harness.Classify(res.Err), 0)
@@ -472,102 +478,21 @@ func main() {
 	}
 }
 
+// buildProgram, listing4 and wildstore delegate to the shared program
+// registry (internal/progs), which the daemon's job specs resolve through
+// as well — one namespace for CLI flags, replay tokens and HTTP jobs.
 func buildProgram(name string, lp lulesh.Params) (*gbuild.Builder, error) {
-	switch name {
-	case "lulesh":
-		return lulesh.Build(lp)
-	case "task.c":
-		return listing4(), nil
-	case "wildstore":
-		return wildstore(), nil
-	}
-	if b, ok := drb.ByName(name); ok {
-		return b.Build(), nil
-	}
-	return nil, fmt.Errorf("unknown program %q (use -list)", name)
+	return progs.Build(name, lp)
 }
 
 // listing4 is the paper's erroneous example program (Listing 4).
-func listing4() *gbuild.Builder {
-	b := omp.NewProgram()
-	b.Global("xptr", 8)
-	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
-
-	f := b.Func("task_a", "task.c")
-	f.Line(8)
-	f.LoadSym(r1, "xptr")
-	f.Ld(8, r1, r1, 0)
-	f.Ldi(r2, 42)
-	f.St(4, r1, 0, r2)
-	f.Ret()
-
-	f = b.Func("task_b", "task.c")
-	f.Line(11)
-	f.LoadSym(r1, "xptr")
-	f.Ld(8, r1, r1, 0)
-	f.Ldi(r2, 43)
-	f.St(4, r1, 0, r2)
-	f.Ret()
-
-	f = b.Func("micro", "task.c")
-	f.Enter(0)
-	fn := f
-	omp.SingleNowait(f, func() {
-		fn.Line(8)
-		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_a"})
-		fn.Line(11)
-		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_b"})
-	})
-	f.Leave()
-
-	f = b.Func("main", "task.c")
-	f.Enter(0)
-	f.Line(3)
-	f.Ldi(r0, 8)
-	f.Hcall("malloc")
-	f.LoadSym(r1, "xptr")
-	f.St(8, r1, 0, r0)
-	f.Line(4)
-	f.Ldi(r1, 0)
-	omp.Parallel(f, "micro", r1, 0)
-	f.Ldi(r0, 0)
-	f.Hlt(r0)
-	return b
-}
+func listing4() *gbuild.Builder { return progs.Listing4() }
 
 // wildstore is the fault-model demo: a task dereferences an uninitialized
 // "pointer" and stores into unmapped memory, which the strict memory model
 // turns into a symbolized CrashReport (exit code 3) instead of silent page
 // allocation.
-func wildstore() *gbuild.Builder {
-	b := omp.NewProgram()
-	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
-
-	f := b.Func("bad_task", "wild.c")
-	f.Line(7)
-	f.LdConst64(r1, 0xdead0000)
-	f.Ldi(r2, 99)
-	f.St(8, r1, 0, r2) // wild store: 0xdead0000 is in no mapped region
-	f.Ret()
-
-	f = b.Func("micro", "wild.c")
-	f.Enter(0)
-	fn := f
-	omp.SingleNowait(f, func() {
-		fn.Line(7)
-		omp.EmitTask(fn, omp.TaskOpts{Fn: "bad_task"})
-	})
-	f.Leave()
-
-	f = b.Func("main", "wild.c")
-	f.Enter(0)
-	f.Line(4)
-	f.Ldi(r1, 0)
-	omp.Parallel(f, "micro", r1, 2)
-	f.Ldi(r0, 0)
-	f.Hlt(r0)
-	return b
-}
+func wildstore() *gbuild.Builder { return progs.Wildstore() }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "taskgrind:", err)

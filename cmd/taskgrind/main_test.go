@@ -98,15 +98,15 @@ func TestReplayTokenRoundTripsInjection(t *testing.T) {
 	bin := buildCLI(t)
 	args := []string{"-prog", "task.c", "-seed", "2", "-inject", "panic=40", "-inject-seed", "7"}
 	orig, code := runCLI(t, bin, args...)
-	if code != 3 {
-		t.Fatalf("injected run exit %d, want 3\n%s", code, orig)
+	if code != 4 {
+		t.Fatalf("injected run exit %d, want 4 (host panic)\n%s", code, orig)
 	}
 	m := tokenRE.FindStringSubmatch(orig)
 	if m == nil {
 		t.Fatalf("no replay token:\n%s", orig)
 	}
 	replayed, code := runCLI(t, bin, "-replay", m[1])
-	if code != 3 || replayed != orig {
+	if code != 4 || replayed != orig {
 		t.Fatalf("injected replay differs (exit %d):\n--- original\n%s\n--- replay\n%s", code, orig, replayed)
 	}
 }

@@ -262,35 +262,61 @@ func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseed
 	return out, nil
 }
 
+// SeedResult is one seed's terminal outcome, independent of where the seed
+// ran: an in-process sweep, a recorded run store, or a daemon job group.
+// Verdict is store.VerdictOK for a surviving seed, else the failure
+// taxonomy (harness.Tax*).
+type SeedResult struct {
+	Seed       int
+	Verdict    string
+	Reports    int
+	Err        string
+	Reproduced bool
+}
+
+// Aggregate folds per-seed terminal results into a sweep Outcome — the
+// cross-seed statistics core shared by Rebuild (store headers) and the
+// analysis daemon (job groups). Later duplicates of a seed win, mirroring
+// Rebuild's header semantics; seeds never reported stay as zero-count
+// survivors.
+func Aggregate(tool string, results []SeedResult) Outcome {
+	rs := append([]SeedResult(nil), results...)
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Seed < rs[j].Seed })
+	nseeds := 0
+	for _, r := range rs {
+		if r.Seed > nseeds {
+			nseeds = r.Seed
+		}
+	}
+	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
+	fails := make([]*Failure, nseeds)
+	for _, r := range rs {
+		if r.Seed <= 0 || r.Seed > nseeds {
+			continue
+		}
+		i := r.Seed - 1
+		if r.Verdict == store.VerdictOK {
+			out.Counts[i] = r.Reports
+			fails[i] = nil
+			continue
+		}
+		fails[i] = &Failure{Seed: r.Seed, Kind: r.Verdict,
+			Err: r.Err, Reproduced: r.Reproduced}
+	}
+	out.finish(fails)
+	return out
+}
+
 // Rebuild reconstructs a sweep's Outcome from recorded run headers — the
 // cross-seed aggregation `taskgrind query agg` prints. Given the complete
 // header set of one sweep (seeds 1..N, one run per seed), the result is
 // bit-identical to the Outcome the in-process sweep returned: same verdict
 // matrix, same failure taxonomy, same summary statistics.
 func Rebuild(tool string, headers []store.RunHeader) Outcome {
-	hs := append([]store.RunHeader(nil), headers...)
-	sort.Slice(hs, func(i, j int) bool { return hs[i].Seed < hs[j].Seed })
-	nseeds := 0
-	for _, h := range hs {
-		if int(h.Seed) > nseeds {
-			nseeds = int(h.Seed)
-		}
+	rs := make([]SeedResult, 0, len(headers))
+	for _, h := range headers {
+		rs = append(rs, SeedResult{Seed: int(h.Seed), Verdict: h.Verdict,
+			Reports: h.Reports, Err: h.Err, Reproduced: h.Reproduced})
 	}
-	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
-	fails := make([]*Failure, nseeds)
-	for _, h := range hs {
-		if h.Seed == 0 || int(h.Seed) > nseeds {
-			continue
-		}
-		i := int(h.Seed) - 1
-		if h.Verdict == store.VerdictOK {
-			out.Counts[i] = h.Reports
-			fails[i] = nil
-			continue
-		}
-		fails[i] = &Failure{Seed: int(h.Seed), Kind: h.Verdict,
-			Err: h.Err, Reproduced: h.Reproduced}
-	}
-	out.finish(fails)
-	return out
+	return Aggregate(tool, rs)
 }

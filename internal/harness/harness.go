@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -311,9 +312,18 @@ type Result struct {
 // Run never lets a Go panic escape: the VM contains panics at the block
 // boundary, and the tool's Fini pass (which runs outside the VM) is guarded
 // here. Contained failures come back as Result.Err with Result.Crash set.
-func (inst *Instance) Run() Result {
+func (inst *Instance) Run() Result { return inst.RunCtx(nil) }
+
+// RunCtx runs like Run under a cancellation context: cancel interrupts the
+// guest within one timeslice (Result.Err is a *vm.CanceledError), and a
+// context deadline trips the wall watchdog. A nil ctx keeps the context
+// check off the slice loop entirely. The RunOpts.Timeout budget composes
+// either way — with a context it becomes a derived deadline on it.
+func (inst *Instance) RunCtx(ctx context.Context) Result {
+	opts := inst.RunOpts
+	opts.Ctx = ctx
 	start := time.Now()
-	err := inst.M.RunOpts(inst.RunOpts)
+	err := inst.M.RunOpts(opts)
 	wall := time.Since(start)
 	if err == nil && inst.Core.Tool() != nil {
 		err = inst.finiGuarded()

@@ -13,6 +13,7 @@ package harness
 // restoring, and the checkpoints' role is to prove it.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,13 +40,15 @@ const (
 	OnPanicFallback
 )
 
-// Failure taxonomy values (SupResult.Taxonomy, explore quarantine).
+// Failure taxonomy values (SupResult.Taxonomy, explore quarantine, daemon
+// job status).
 const (
 	TaxFault      = "fault"      // GuestFault: wild guest access
 	TaxPanic      = "panic"      // HostPanic: host-side defect (engine, tool)
 	TaxTimeout    = "timeout"    // watchdog budget exhausted
 	TaxDeadlock   = "deadlock"   // no runnable threads
 	TaxDivergence = "divergence" // replay departed from the recording
+	TaxCanceled   = "canceled"   // run context canceled (administrative stop)
 	TaxError      = "error"      // other (plain) error
 )
 
@@ -59,6 +62,7 @@ func Classify(err error) string {
 	var hp *vm.HostPanic
 	var wd *vm.WatchdogError
 	var dl *vm.DeadlockError
+	var ce *vm.CanceledError
 	switch {
 	case errors.As(err, &div):
 		return TaxDivergence
@@ -70,8 +74,34 @@ func Classify(err error) string {
 		return TaxTimeout
 	case errors.As(err, &dl):
 		return TaxDeadlock
+	case errors.As(err, &ce):
+		return TaxCanceled
 	}
 	return TaxError
+}
+
+// ExitCodeFor maps a failure taxonomy to the CLI's documented exit code —
+// the one table shared by `taskgrind` (process exit), `taskgrind submit
+// -wait` and the daemon's job status rendering. 0/1/2 (clean, reports
+// found, usage error) are CLI-level outcomes with no taxonomy and are not
+// produced here.
+func ExitCodeFor(taxonomy string) int {
+	switch taxonomy {
+	case TaxFault:
+		return 3
+	case TaxPanic:
+		return 4
+	case TaxTimeout:
+		return 5
+	case TaxDeadlock:
+		return 6
+	case TaxDivergence:
+		return 7
+	case TaxCanceled:
+		return 8
+	default: // TaxError and anything unrecognized
+		return 2
+	}
 }
 
 // SuperviseOpts configures a supervised run.
@@ -137,6 +167,16 @@ func buildSupervised(factory SetupFactory, opts SuperviseOpts, j *snapshot.Journ
 // under the IR oracle that must walk the recorded timeline up to the panic
 // point before continuing past it.
 func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
+	return SuperviseCtx(nil, factory, opts)
+}
+
+// SuperviseCtx supervises like Supervise under a cancellation context: a
+// cancel interrupts whichever attempt is in flight (first run, verification
+// replay, or fallback) within one timeslice, and the canceled attempt is
+// classified TaxCanceled rather than treated as a reproducible failure —
+// a canceled run proves nothing, so neither VerifyCrash nor the fallback
+// re-execution is attempted after one.
+func SuperviseCtx(ctx context.Context, factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
 	if opts.CkptEvery <= 0 {
 		opts.CkptEvery = 16
 	}
@@ -148,7 +188,7 @@ func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
 		return sup, fmt.Errorf("harness: supervise: %w", err)
 	}
 	sup.Attempts = 1
-	sup.Result = inst.Run()
+	sup.Result = inst.RunCtx(ctx)
 	sup.Inst = inst
 	if inst.Ckpts != nil {
 		sup.Checkpoints = inst.Ckpts.Taken
@@ -157,6 +197,10 @@ func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
 		return sup, nil
 	}
 	sup.Taxonomy = Classify(sup.Err)
+	if sup.Taxonomy == TaxCanceled {
+		// An administrative stop: nothing to verify or degrade from.
+		return sup, nil
+	}
 
 	// Narrow the failure window: everything up to the last recorded state
 	// mark is verified ground; the failure fired between there and the
@@ -177,7 +221,7 @@ func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
 			return sup, fmt.Errorf("harness: supervise replay: %w", err)
 		}
 		sup.Attempts++
-		rres := replay.Run()
+		rres := replay.RunCtx(ctx)
 		sup.Reproduced = rres.Crash != nil && v.Err() == nil &&
 			rres.Crash.Render(replay.M.Image) == sup.Crash.Render(inst.M.Image)
 	}
@@ -196,7 +240,7 @@ func Supervise(factory SetupFactory, opts SuperviseOpts) (SupResult, error) {
 			return sup, fmt.Errorf("harness: supervise fallback: %w", err)
 		}
 		sup.Attempts++
-		fres := fb.Run()
+		fres := fb.RunCtx(ctx)
 		sup.Inst = fb
 		if fres.Err == nil {
 			sup.FellBack = true

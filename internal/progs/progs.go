@@ -1,0 +1,126 @@
+// Package progs names the built-in guest programs: every DRB/TMB
+// microbenchmark, the LULESH proxy, the paper's Listing 4 example and the
+// fault-model demo. It is the one program registry shared by the CLI
+// (`taskgrind -prog`), the analysis daemon (`taskgrindd` job specs) and the
+// replay-token decoder — a program name appearing in a `tg1:` token resolves
+// here no matter which binary replays it.
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/drb"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/lulesh"
+	"repro/internal/omp"
+)
+
+// Build resolves a program name to a fresh builder (builders are
+// single-link, so every call constructs anew). lp is consulted for
+// "lulesh" only.
+func Build(name string, lp lulesh.Params) (*gbuild.Builder, error) {
+	switch name {
+	case "lulesh":
+		return lulesh.Build(lp)
+	case "task.c":
+		return Listing4(), nil
+	case "wildstore":
+		return Wildstore(), nil
+	}
+	if b, ok := drb.ByName(name); ok {
+		return b.Build(), nil
+	}
+	return nil, fmt.Errorf("unknown program %q (use -list)", name)
+}
+
+// Names enumerates the built-in program names, specials first, in the
+// order `taskgrind -list` prints them.
+func Names() []string {
+	names := []string{"task.c", "lulesh", "wildstore"}
+	for _, b := range drb.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// Listing4 is the paper's erroneous example program (Listing 4).
+func Listing4() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("xptr", 8)
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+
+	f := b.Func("task_a", "task.c")
+	f.Line(8)
+	f.LoadSym(r1, "xptr")
+	f.Ld(8, r1, r1, 0)
+	f.Ldi(r2, 42)
+	f.St(4, r1, 0, r2)
+	f.Ret()
+
+	f = b.Func("task_b", "task.c")
+	f.Line(11)
+	f.LoadSym(r1, "xptr")
+	f.Ld(8, r1, r1, 0)
+	f.Ldi(r2, 43)
+	f.St(4, r1, 0, r2)
+	f.Ret()
+
+	f = b.Func("micro", "task.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(8)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_a"})
+		fn.Line(11)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_b"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "task.c")
+	f.Enter(0)
+	f.Line(3)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.LoadSym(r1, "xptr")
+	f.St(8, r1, 0, r0)
+	f.Line(4)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}
+
+// Wildstore is the fault-model demo: a task dereferences an uninitialized
+// "pointer" and stores into unmapped memory, which the strict memory model
+// turns into a symbolized CrashReport instead of silent page allocation.
+func Wildstore() *gbuild.Builder {
+	b := omp.NewProgram()
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+
+	f := b.Func("bad_task", "wild.c")
+	f.Line(7)
+	f.LdConst64(r1, 0xdead0000)
+	f.Ldi(r2, 99)
+	f.St(8, r1, 0, r2) // wild store: 0xdead0000 is in no mapped region
+	f.Ret()
+
+	f = b.Func("micro", "wild.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(7)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "bad_task"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "wild.c")
+	f.Enter(0)
+	f.Line(4)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 2)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}

@@ -100,6 +100,27 @@ func (w *WatchdogError) Error() string {
 	}
 }
 
+// CanceledError terminates a run whose RunOpts.Ctx was canceled. It is an
+// administrative stop, not a guest failure: no CrashReport is built for it,
+// and the harness taxonomy classifies it as "canceled". Threads carries the
+// point-of-stop dump so a canceled job's status can still say where the
+// guest was.
+type CanceledError struct {
+	// Cause is the context's cancellation cause (context.Canceled unless
+	// the canceler attached one).
+	Cause error
+	// Threads is the per-thread state dump at the stop.
+	Threads []ThreadDump
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("vm: run canceled: %v", e.Cause)
+}
+
+// Unwrap exposes the cancellation cause (errors.Is(err, context.Canceled)).
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // DeadlockError enriches ErrDeadlock with each thread's block reason and
 // stack trace. errors.Is(err, ErrDeadlock) keeps working.
 type DeadlockError struct {

@@ -10,6 +10,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -474,8 +475,15 @@ type RunOpts struct {
 	MaxInstrs uint64
 	// Timeout bounds host wall-clock time (checked once per timeslice, so
 	// enabling it costs nothing on the block dispatch path). Unlike the
-	// deterministic budgets, where it trips depends on host speed.
+	// deterministic budgets, where it trips depends on host speed. When Ctx
+	// is also set, the timeout rides the context (a derived deadline), so
+	// one cancellation mechanism covers both.
 	Timeout time.Duration
+	// Ctx, when non-nil, cancels the run externally: a context deadline
+	// trips the "wall" watchdog, any other cancellation terminates the run
+	// with a *CanceledError. Checked once per timeslice alongside the
+	// budgets, so a canceled guest stops within one slice.
+	Ctx context.Context
 	// CkptEvery, when > 0, invokes OnCkpt every CkptEvery timeslices —
 	// counted across both the scheduling loop and the solo fast path, so
 	// the cadence is deterministic in executed slices, not scheduler
@@ -485,6 +493,14 @@ type RunOpts struct {
 	// OnCkpt is the checkpoint callback (capture, retention, journal
 	// marks live in the caller). A non-nil error aborts the run.
 	OnCkpt func(m *Machine) error
+	// ProgressEvery, when > 0, invokes OnProgress every ProgressEvery
+	// timeslices with the machine's running block/instruction totals — a
+	// race-free export of run progress for external monitors (the daemon's
+	// /jobs/{id} view). The callback runs on the execution goroutine; it
+	// must not touch the machine.
+	ProgressEvery int
+	// OnProgress receives the progress ticks (see ProgressEvery).
+	OnProgress func(blocks, instrs uint64)
 }
 
 // Run drives the scheduler until the program exits, deadlocks, or the block
@@ -497,7 +513,8 @@ func (m *Machine) watchdog(kind string, limit uint64) error {
 	return &WatchdogError{Kind: kind, Limit: limit, Threads: m.DumpThreads()}
 }
 
-// checkBudgets trips the watchdog when a run budget is exhausted.
+// checkBudgets trips the watchdog when a run budget is exhausted, or
+// terminates the run when its context was canceled.
 func (m *Machine) checkBudgets(opts *RunOpts, deadline time.Time) error {
 	if opts.MaxBlocks > 0 && m.BlocksExecuted >= opts.MaxBlocks {
 		return m.watchdog("blocks", opts.MaxBlocks)
@@ -508,6 +525,18 @@ func (m *Machine) checkBudgets(opts *RunOpts, deadline time.Time) error {
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return m.watchdog("wall", uint64(opts.Timeout))
 	}
+	if ctx := opts.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// A deadline (the Timeout wrapper, or the caller's own)
+				// is the wall watchdog, just context-delivered.
+				return m.watchdog("wall", uint64(opts.Timeout))
+			}
+			return &CanceledError{Cause: context.Cause(ctx), Threads: m.DumpThreads()}
+		default:
+		}
+	}
 	return nil
 }
 
@@ -515,13 +544,31 @@ func (m *Machine) checkBudgets(opts *RunOpts, deadline time.Time) error {
 func (m *Machine) RunOpts(opts RunOpts) error {
 	var deadline time.Time
 	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
+		if opts.Ctx != nil {
+			// Context-based cancellation is active: deliver the wall
+			// budget through the same channel, so one Done check covers
+			// both and an external cancel interrupts just as promptly.
+			ctx, cancel := context.WithTimeout(opts.Ctx, opts.Timeout)
+			defer cancel()
+			opts.Ctx = ctx
+		} else {
+			deadline = time.Now().Add(opts.Timeout)
+		}
 	}
-	// Checkpoint cadence: counted in executed slices across both loop
-	// paths, so the cadence is independent of how slices batch into
+	// Checkpoint/progress cadence: counted in executed slices across both
+	// loop paths, so the cadence is independent of how slices batch into
 	// scheduler rounds.
 	ckptLeft := opts.CkptEvery
+	progLeft := opts.ProgressEvery
 	sliceEnd := func() error {
+		if opts.ProgressEvery > 0 {
+			if progLeft--; progLeft <= 0 {
+				progLeft = opts.ProgressEvery
+				if opts.OnProgress != nil {
+					opts.OnProgress(m.BlocksExecuted, m.InstrsExecuted)
+				}
+			}
+		}
 		if opts.CkptEvery <= 0 {
 			return nil
 		}
