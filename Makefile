@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch replay-determinism bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism tstore-equiv bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
-# focused batched-delivery pass), the replay-determinism gate, the fuzzer
-# smoke run, both benchmark smoke runs (BENCH_obs.json; bench-perf-smoke
-# does not overwrite the recorded BENCH_perf.json), the record-and-query
-# smoke, the daemon load + chaos-soak tests, and the hot-path +
-# checkpoint-overhead + recording-overhead + serve-throughput regression
-# guards against the recorded baseline.
-check: vet build race race-batch replay-determinism fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
+# focused batched-delivery pass), the replay-determinism gate, the
+# translation-store equivalence gate, the fuzzer smoke run, both benchmark
+# smoke runs (BENCH_obs.json; bench-perf-smoke does not overwrite the
+# recorded BENCH_perf.json), the record-and-query smoke, the daemon load +
+# chaos-soak tests, and the hot-path + checkpoint-overhead +
+# recording-overhead + serve-throughput + warm-store regression guards
+# against the recorded baseline.
+check: vet build race race-batch replay-determinism tstore-equiv fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +38,17 @@ race-batch:
 replay-determinism:
 	$(GO) test -count=1 -run 'TestCheckpointResume|TestSupervisor|TestBisect|TestSupervisedReplay|TestJournal' ./internal/harness ./internal/vm ./internal/snapshot
 	$(GO) test -count=1 -run 'TestReplayToken|TestOnPanicFallback' ./cmd/taskgrind
+
+# Translation-store equivalence gate: the tstore unit suite (encode
+# roundtrips, persistent-tier invalidation, torn-tail recovery) under -race,
+# plus the store-equivalence differential smoke — cold vs warm vs
+# pretranslated runs bit-identical on both engines, the crash-report and
+# invalidation cases, the 16-worker shared-store race test and the sweep
+# amortization counter check. Fresh run (-count=1) so the gate never passes
+# on a cached result.
+tstore-equiv:
+	$(GO) test -race -count=1 ./internal/tstore
+	$(GO) test -race -count=1 -run 'TestStoreEquivalence|TestStoreInvalidation|TestStoreConcurrentWorkers|TestSweepAmortization|TestJobsShareTranslationStore' . ./internal/serve
 
 # Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
 # and the instruction decoder. Go runs one -fuzz package at a time, hence two
@@ -93,12 +105,13 @@ query-smoke:
 
 # Regression guards: re-measures the compiled engine's hot ns/block (fails
 # on >20% regression), the ckpt-16 checkpoint overhead ratio (fails at
-# 1.5x the recorded ratio) and daemon throughput (fails below 1/1.5 of the
-# recorded jobs/sec) against the baseline recorded in BENCH_perf.json by
-# `make bench-perf` / `make bench-serve` (best-of-3, so only a real
-# slowdown trips any of them).
+# 1.5x the recorded ratio), daemon throughput (fails below 1/1.5 of the
+# recorded jobs/sec) and the warm translation store's end-to-end speedup
+# (fails unless warm compiled beats IR end to end, recorded and fresh)
+# against the baseline recorded in BENCH_perf.json by `make bench-perf` /
+# `make bench-serve` (best-of-3, so only a real slowdown trips any of them).
 perf-guard:
-	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression|TestServeThroughputRegression' .
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression|TestServeThroughputRegression|TestWarmStoreE2ERegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

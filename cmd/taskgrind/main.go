@@ -42,6 +42,7 @@ import (
 	"repro/internal/tools/romp"
 	"repro/internal/tools/toolreg"
 	"repro/internal/trace"
+	"repro/internal/tstore"
 	"repro/internal/vm"
 )
 
@@ -72,6 +73,9 @@ func main() {
 		engine   = flag.String("engine", "", "execution engine: compiled (micro-ops + block chaining), ir (reference interpreter), \"\" = default")
 		delivery = flag.String("delivery", "batched", "tool access delivery: batched (one flush per superblock segment), per-event (one callback per access)")
 		extend   = flag.Int("extend", 0, "superblock extension budget in guest instructions (0 = single basic blocks; changes scheduling granularity)")
+
+		tcacheDir    = flag.String("tcache-dir", "", "persistent translation store directory: instrumented+compiled translations are saved per (image,tool,engine,extend,delivery) and reused across runs")
+		pretranslate = flag.Bool("pretranslate", false, "translate statically reachable blocks ahead of execution on spare cores (implies an in-memory translation store)")
 		threads  = flag.Int("threads", 4, "OMP_NUM_THREADS")
 		seed     = flag.Uint64("seed", 1, "scheduler seed")
 		list     = flag.Bool("list", false, "list available programs")
@@ -211,6 +215,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	var tcache *tstore.Cache
+	if *tcacheDir != "" || *pretranslate {
+		tcache = tstore.NewCache(*tcacheDir)
+	}
 	// makeSetup assembles one attempt's configuration. Under
 	// -on-panic=fallback the supervisor may build several attempts (record,
 	// replay, IR fallback); tool, injector and observability sinks are all
@@ -308,6 +316,15 @@ func main() {
 			CkptEvery:   *ckptInterval,
 			ReplayToken: token,
 			RunOpts:     vm.RunOpts{MaxBlocks: *maxBlocks, MaxInstrs: *maxInstrs, Timeout: *timeout},
+			TStore:      tcache,
+			// Pipeline workers instrument with plain tool instances; the
+			// -trace Tee adds no IR of its own, so their translations are
+			// exactly what the wrapped tool would produce.
+			Pretranslate: *pretranslate,
+			NewTool: func() dbi.Tool {
+				t, _, _ := toolreg.Make(*tool)
+				return t
+			},
 		}
 	}
 	start := time.Now()
@@ -336,6 +353,20 @@ func main() {
 			fatal(err)
 		}
 		res = inst.Run()
+	}
+	if tcache != nil {
+		// Let the pipeline drain before persisting, so the saved tier
+		// carries everything it translated, then write the warm start for
+		// the next run. Runs on every exit path below (none return early
+		// before this point).
+		if inst.Pretrans != nil {
+			inst.Pretrans.Wait()
+		}
+		if *tcacheDir != "" {
+			if serr := tcache.Save(); serr != nil {
+				fmt.Fprintf(os.Stderr, "==taskgrind== tcache save: %v\n", serr)
+			}
+		}
 	}
 	injector := inj
 	tracerClosed := false

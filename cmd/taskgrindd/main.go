@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/obs/store"
 	"repro/internal/serve"
+	"repro/internal/tstore"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain wait for in-flight jobs")
 		statePath    = flag.String("state", "", "persist still-queued jobs here at drain; resume them on start")
 		recordDir    = flag.String("record", "", "append every job's run to this run-store directory (query with `taskgrind query`)")
+		tcacheDir    = flag.String("tcache-dir", "", "persistent translation store directory shared by every job; saved at drain so restarts start warm")
 		seed         = flag.Uint64("seed", 1, "retry backoff jitter seed")
 		verbose      = flag.Bool("v", false, "print the metrics snapshot after drain")
 	)
@@ -55,10 +57,12 @@ func main() {
 		rec = w
 		defer rec.Close()
 	}
+	tcache := tstore.NewCache(*tcacheDir)
 	srv := serve.New(serve.Options{
 		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
 		JobTimeout: *jobTimeout, DrainTimeout: *drainTimeout,
 		StatePath: *statePath, Record: rec, Seed: *seed,
+		TCache: tcache,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
@@ -86,6 +90,11 @@ func main() {
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "taskgrindd: shutdown:", err)
+	}
+	if *tcacheDir != "" {
+		if err := tcache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "taskgrindd: tcache save:", err)
+		}
 	}
 	if *verbose {
 		if err := srv.MetricsSnapshot().WriteText(os.Stdout); err != nil {

@@ -94,6 +94,25 @@ type accessPoint struct {
 	addr  vex.Expr
 }
 
+// accessMetaStore is the store-direction bit in an access's packed Meta
+// word (low byte: width). Two Meta words per access — PC, then
+// width|direction — serialize a flush site so another core (or another
+// process, via the persistent tier) can re-bind an equivalent one.
+const accessMetaStore = 1 << 8
+
+// flushMeta packs a flush site's access points into Stmt.Meta.
+func flushMeta(pts []accessPoint) []uint64 {
+	meta := make([]uint64, 0, 2*len(pts))
+	for i := range pts {
+		w := uint64(pts[i].wd)
+		if pts[i].store {
+			w |= accessMetaStore
+		}
+		meta = append(meta, pts[i].pc, w)
+	}
+	return meta
+}
+
 // flushSite is one flush callback baked into an instrumented block. Its dirty
 // statement's arguments are the address expressions of the queued accesses in
 // program order; flush marries them with the compile-time descriptors into
@@ -142,6 +161,7 @@ func (c *Core) InstrumentAccesses(sb *vex.SuperBlock, sink AccessSink) (out *vex
 		out.Stmts = append(out.Stmts, vex.Stmt{
 			Kind: vex.SDirty, Tmp: vex.NoTemp,
 			Name: "flush_accesses", Fn: site.flush, Args: args,
+			Meta: flushMeta(pending),
 		})
 		pending = nil
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/obs"
+	"repro/internal/tstore"
 	"repro/internal/vex"
 	"repro/internal/vm"
 )
@@ -92,6 +93,17 @@ type Core struct {
 	// engine with access hooks; SelectEngine then refuses to override.
 	engineFixed bool
 
+	// Shared, when set, is the content-addressed translation store tier
+	// consulted between the local caches and fresh translation: local miss
+	// -> adopt a published unit (copy-on-attach, dirty helpers re-bound to
+	// this core) -> translate fresh and publish. The store must be keyed
+	// for exactly this core's (image, tool, engine, extend, delivery)
+	// universe — the harness derives the key; see internal/tstore.
+	Shared *tstore.Store
+	// pretranslating marks a throwaway translation-pipeline core: its
+	// published units carry the Pretranslated flag.
+	pretranslating bool
+
 	// ExtendBudget, when positive, enables superblock extension: the
 	// translator follows unconditional direct jumps and keeps decoding
 	// until the block holds ExtendBudget guest instructions (Valgrind's
@@ -100,19 +112,30 @@ type Core struct {
 	// extended blocks identically.
 	ExtendBudget int
 
-	// Translations counts distinct blocks translated (== cache misses).
+	// Translations counts distinct blocks this core translated itself
+	// (blocks adopted from the shared store do not count).
 	Translations uint64
 	// TranslateNanos accumulates wall time spent in the translation
 	// pipeline (decode, optimize, instrument) and CompileNanos the time
-	// lowering instrumented IR to micro-ops. Together they are the
-	// non-execution share of a run's wall clock; the perf benchmark
-	// subtracts them to report pure execution throughput.
+	// lowering instrumented IR to micro-ops. The two phases are timed
+	// independently. Together they are the non-execution share of a run's
+	// wall clock; the perf benchmark subtracts them to report pure
+	// execution throughput.
 	TranslateNanos uint64
 	CompileNanos   uint64
 	// CacheHits counts dispatches served from a translation cache (the
 	// superblock cache under the IR engine, the compiled cache or a chain
-	// hit under the compiled engine).
-	CacheHits uint64
+	// hit under the compiled engine). CacheMisses counts dispatches no
+	// local cache served — each is resolved either from the shared store
+	// (SharedHits) or by a fresh translation (Translations), so
+	// CacheMisses == SharedHits + Translations.
+	CacheHits   uint64
+	CacheMisses uint64
+	// SharedHits counts blocks adopted from the shared translation store;
+	// PretranslatedBlocks is the subset published ahead of execution by
+	// the pretranslation pipeline.
+	SharedHits          uint64
+	PretranslatedBlocks uint64
 	// Compiles counts superblocks lowered to micro-ops.
 	Compiles uint64
 	// ChainHits counts dispatches that bypassed translation-cache lookup
@@ -252,6 +275,11 @@ func (c *Core) SelectEngine(name string) error {
 	return nil
 }
 
+// EngineFixed reports whether the tool fixed the engine itself
+// (compile-time instrumentation on the direct interpreter). Such cores
+// never translate, so a shared translation store does not apply.
+func (c *Core) EngineFixed() bool { return c.engineFixed }
+
 // ClearCache drops every translation — IR and compiled — and bumps the
 // cache generation, which atomically invalidates all chained successor
 // pointers and per-thread dispatch predictions. The next dispatch of every
@@ -373,13 +401,26 @@ func (c *Core) Allocations() []*AllocBlock { return c.allocs }
 func (c *Core) AllocCount() int { return len(c.allocs) }
 
 // translate produces the instrumented IR for the block at addr, consulting
-// the translation cache first. tid attributes translation trace events to
-// the thread whose dispatch triggered them.
+// the translation cache, then the shared store, then translating fresh. tid
+// attributes translation trace events to the thread whose dispatch
+// triggered them.
 func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 	if sb, ok := c.cache[addr]; ok {
 		c.CacheHits++
 		return sb, nil
 	}
+	c.CacheMisses++
+	if u := c.sharedGet(addr); u != nil {
+		if sb, err := c.adoptSB(u); err == nil {
+			return sb, nil
+		}
+	}
+	return c.translateFresh(addr, tid)
+}
+
+// translateFresh runs the full translation pipeline — decode, optimize,
+// instrument — caches the result and publishes it to the shared store.
+func (c *Core) translateFresh(addr uint64, tid int) (*vex.SuperBlock, error) {
 	traced := c.Obs != nil && c.Obs.Tracer != nil
 	if traced {
 		c.Obs.Tracer.Begin(c.M.BlocksExecuted, tid, "dbi", "translate",
@@ -413,27 +454,55 @@ func (c *Core) translate(addr uint64, tid int) (*vex.SuperBlock, error) {
 		c.Obs.Tracer.End(c.M.BlocksExecuted, tid, "dbi", "translate",
 			map[string]any{"stmts": len(sb.Stmts)})
 	}
+	c.sharedPut(addr, sb, seams)
 	return sb, nil
 }
 
 // compiled produces the micro-op translation for the block at addr,
-// consulting the compiled cache first. Cache misses run the full pipeline —
-// translate, optimize, instrument — and then lower the instrumented IR to
-// micro-ops once; every later dispatch executes the pre-resolved form.
+// consulting the compiled cache, then the shared store, then running the
+// full pipeline — translate, optimize, instrument, lower — once; every
+// later dispatch executes the pre-resolved form.
 func (c *Core) compiled(addr uint64, tid int) (*centry, error) {
 	if ent, ok := c.ccache[addr]; ok {
 		c.CacheHits++
 		return ent, nil
 	}
-	start := time.Now()
-	tn := c.TranslateNanos
-	sb, err := c.translate(addr, tid)
-	if err != nil {
-		return nil, err
+	c.CacheMisses++
+	var unit *tstore.Unit
+	sb, haveSB := c.cache[addr]
+	if !haveSB {
+		if unit = c.sharedGet(addr); unit != nil {
+			if s, err := c.adoptSB(unit); err == nil {
+				sb, haveSB = s, true
+			} else {
+				unit = nil // unadoptable: fall back to the local pipeline
+			}
+		}
 	}
-	code, err := vex.Compile(sb)
-	if err != nil {
-		return nil, err
+	if !haveSB {
+		var err error
+		if sb, err = c.translateFresh(addr, tid); err != nil {
+			return nil, err
+		}
+	}
+	var code *vex.Compiled
+	if unit != nil && unit.Code != nil {
+		if adopted, err := c.adoptCode(unit); err == nil {
+			code = adopted
+		}
+	}
+	if code == nil {
+		// Compile cost is timed on its own clock, independent of the
+		// translation phase above.
+		start := time.Now()
+		var err error
+		code, err = vex.Compile(sb)
+		if err != nil {
+			return nil, err
+		}
+		c.Compiles++
+		c.CompileNanos += uint64(time.Since(start))
+		c.sharedPutCode(addr, code)
 	}
 	ent := &centry{code: code, gen: c.cacheGen, chains: make([]*centry, code.NChains)}
 	c.ccache[addr] = ent
@@ -445,10 +514,6 @@ func (c *Core) compiled(addr uint64, tid int) (*centry, error) {
 		}
 		c.cdisp[idx] = ent
 	}
-	c.Compiles++
-	// Whatever part of this cold dispatch was not translation — lowering,
-	// the cache entry, the map insert — is compile cost.
-	c.CompileNanos += uint64(time.Since(start)) - (c.TranslateNanos - tn)
 	return ent, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/store"
 	"repro/internal/tools/toolreg"
+	"repro/internal/tstore"
 )
 
 // Opts extends a sweep beyond the positional basics.
@@ -34,6 +35,12 @@ type Opts struct {
 	// TokenFor builds seed's replay token (stamped into recorded headers
 	// and onto supervised crash reports). Optional.
 	TokenFor func(seed int) string
+	// TStore shares translations across the sweep's seeds: every seed
+	// runs the same image under the same tool, so the whole sweep costs
+	// roughly one seed's worth of translation work. Nil builds a
+	// sweep-private in-memory cache (amortization on by default); pass an
+	// explicit cache to share with a daemon or a persistent tier.
+	TStore *tstore.Cache
 }
 
 // recording bundles one seed's observability attachments while it records.
@@ -130,6 +137,10 @@ func RunOpts(build func() *gbuild.Builder, tool string, threads, nseeds int, o O
 	if workers <= 0 {
 		workers = 4
 	}
+	tc := o.TStore
+	if tc == nil {
+		tc = tstore.NewCache("")
+	}
 	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
 	errs := make([]error, nseeds)
 	fails := make([]*Failure, nseeds)
@@ -153,7 +164,7 @@ func RunOpts(build func() *gbuild.Builder, tool string, threads, nseeds int, o O
 			rr := beginRecording(o, tool, threads, i+1, im)
 			inst, err := harness.New(harness.Setup{
 				Image: im, Tool: tl, Seed: uint64(i + 1), Threads: threads,
-				Engine: o.Engine, Obs: rr.hooks(),
+				Engine: o.Engine, Obs: rr.hooks(), TStore: tc,
 			})
 			if err != nil {
 				errs[i] = err
@@ -197,6 +208,10 @@ func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseed
 	if _, _, err := toolreg.Make(tool); err != nil {
 		return Outcome{Tool: tool, Seeds: nseeds}, err
 	}
+	tc := o.TStore
+	if tc == nil {
+		tc = tstore.NewCache("")
+	}
 	sopts.VerifyCrash = true
 	out := Outcome{Tool: tool, Seeds: nseeds, Counts: make([]int, nseeds)}
 	errs := make([]error, nseeds)
@@ -225,7 +240,7 @@ func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseed
 				count = c
 				s := harness.Setup{
 					Image: im, Tool: tl, Seed: uint64(i + 1),
-					Threads: threads, Engine: o.Engine,
+					Threads: threads, Engine: o.Engine, TStore: tc,
 				}
 				if attempts == 0 {
 					s.Obs = rr.hooks()

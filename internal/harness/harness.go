@@ -21,6 +21,7 @@ import (
 	"repro/internal/omp"
 	"repro/internal/ompt"
 	"repro/internal/snapshot"
+	"repro/internal/tstore"
 	"repro/internal/vm"
 )
 
@@ -84,6 +85,26 @@ type Setup struct {
 	// run produces, so the rendered report tells the user how to reproduce
 	// it (`taskgrind -replay <token>`).
 	ReplayToken string
+	// TStore, when set, attaches the content-addressed translation store:
+	// the core resolves translations from (and publishes to) the cache's
+	// store for this run's (image hash, tool, engine, extend, delivery)
+	// key, so translation happens once per image rather than once per run.
+	// Tools that fix the engine themselves (compile-time instrumentation)
+	// never translate and are unaffected.
+	TStore *tstore.Cache
+	// ToolID overrides the tool identity in the store key (default
+	// Tool.Name(), or "none" uninstrumented). Set it when the same tool
+	// type is configured differently across runs sharing one cache.
+	ToolID string
+	// Pretranslate starts the ahead-of-execution pipeline on the store
+	// before the run: spare cores walk the image's statically reachable
+	// blocks and fill the store while the guest executes. Requires TStore;
+	// instrumented runs also require NewTool (pipeline workers each
+	// instrument with their own tool instance) or the pipeline stays off.
+	Pretranslate bool
+	// NewTool builds a fresh tool instance (same configuration as Tool)
+	// for each pretranslation worker.
+	NewTool func() dbi.Tool
 }
 
 // Instance is a ready-to-run guest machine with all substrates attached.
@@ -103,6 +124,9 @@ type Instance struct {
 	ReplayToken string
 	// Obs echoes Setup.Obs (nil when observability is off).
 	Obs *obs.Hooks
+	// Pretrans is the ahead-of-execution pipeline handle (nil unless
+	// Setup.Pretranslate started one). Wait on it before saving the cache.
+	Pretrans *dbi.Pretranslation
 }
 
 // New builds an instance.
@@ -137,6 +161,37 @@ func New(s Setup) (*Instance, error) {
 	if s.Engine != "" {
 		if err := inst.Core.SelectEngine(s.Engine); err != nil {
 			return nil, err
+		}
+	}
+	if s.TStore != nil && !inst.Core.EngineFixed() {
+		engine := s.Engine
+		if engine == "" {
+			engine = dbi.EngineCompiled
+		}
+		toolID := s.ToolID
+		if toolID == "" {
+			if s.Tool != nil {
+				toolID = s.Tool.Name()
+			} else {
+				toolID = "none"
+			}
+		}
+		st := s.TStore.Open(tstore.Key{
+			Image:    tstore.ImageHash(s.Image),
+			Tool:     toolID,
+			Engine:   engine,
+			Extend:   s.Extend,
+			Delivery: s.Delivery.String(),
+		})
+		inst.Core.Shared = st
+		// An instrumented pipeline without NewTool would publish
+		// uninstrumented blocks under the instrumented key: refuse.
+		if s.Pretranslate && (s.Tool == nil || s.NewTool != nil) {
+			newTool := s.NewTool
+			if newTool == nil {
+				newTool = func() dbi.Tool { return nil }
+			}
+			inst.Pretrans = dbi.PretranslateAsync(st, s.Image, 0, newTool)
 		}
 	}
 	inst.Lib.Bind(inst.Core)
@@ -238,7 +293,9 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	c := inst.Core
 	reg.Counter("dbi_translations_total").Set(c.Translations)
 	reg.Counter("dbi_cache_hits_total").Set(c.CacheHits)
-	reg.Counter("dbi_cache_misses_total").Set(c.Translations)
+	reg.Counter("dbi_cache_misses_total").Set(c.CacheMisses)
+	reg.Counter("dbi_shared_hits_total").Set(c.SharedHits)
+	reg.Counter("dbi_pretranslated_blocks_total").Set(c.PretranslatedBlocks)
 	reg.Counter("dbi_cache_stmts").Set(c.CacheStmts())
 	reg.Gauge("dbi_cache_footprint_bytes").Set(float64(c.CacheFootprint()))
 	reg.Counter("dbi_compiles_total").Set(c.Compiles)

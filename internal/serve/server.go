@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/store"
+	"repro/internal/tstore"
 )
 
 // Sentinel admission errors; the HTTP layer maps them to 429/503.
@@ -64,6 +65,12 @@ type Options struct {
 	// ProgressEvery is the job progress-tick cadence in timeslices
 	// (default 64).
 	ProgressEvery int
+	// TCache shares one content-addressed translation cache across every
+	// job the daemon runs: repeat jobs on the same program under the same
+	// tool reuse each other's translations. Nil builds a daemon-private
+	// in-memory cache; pass one with a directory for a persistent tier
+	// that survives restarts.
+	TCache *tstore.Cache
 }
 
 // withDefaults fills zero options.
@@ -94,6 +101,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProgressEvery <= 0 {
 		o.ProgressEvery = 64
+	}
+	if o.TCache == nil {
+		o.TCache = tstore.NewCache("")
 	}
 	return o
 }
@@ -394,6 +404,12 @@ func (s *Server) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("serve_retry_backlog").Set(float64(s.retriesBusy.Load()))
 	reg.Gauge("serve_drain_seconds").Set(float64(s.drainNanos.Load()) / 1e9)
 	reg.Gauge("serve_queue_wait_max_seconds").Set(float64(s.queueWaitMax.Load()) / 1e9)
+	cs := s.opts.TCache.Stats()
+	reg.Gauge("tstore_stores").Set(float64(cs.Stores))
+	reg.Gauge("tstore_units").Set(float64(cs.Units))
+	reg.Counter("tstore_hits_total").Set(cs.Hits)
+	reg.Counter("tstore_misses_total").Set(cs.Misses)
+	reg.Counter("tstore_translations_total").Set(cs.Puts)
 }
 
 // MetricsSnapshot publishes into a fresh registry and freezes it.

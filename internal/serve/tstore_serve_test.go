@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs/store"
+	"repro/internal/tstore"
+)
+
+// TestJobsShareTranslationStore: a seed-range sweep through the daemon
+// translates the program roughly once — daemon workers resolve their
+// translations from the shared store — and the store's counters surface
+// through /metrics.
+func TestJobsShareTranslationStore(t *testing.T) {
+	cache := tstore.NewCache("")
+	s := newTestServer(t, Options{Workers: 4, TCache: cache})
+	jobs, err := s.Submit(JobSpec{Prog: "task.c", Seed: 1, Seeds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		v := await(t, s, j.ID, 30*time.Second)
+		if v.Status != StatusDone {
+			t.Fatalf("job %s: status %s (result %+v)", j.ID, v.Status, v.Result)
+		}
+		if v.Result.Verdict != store.VerdictOK {
+			t.Fatalf("job %s: verdict %q", j.ID, v.Result.Verdict)
+		}
+	}
+	cs := cache.Stats()
+	if cs.Stores != 1 {
+		t.Fatalf("8 identical jobs opened %d stores, want 1", cs.Stores)
+	}
+	if cs.Puts == 0 || cs.Hits == 0 {
+		t.Fatalf("store not exercised: %+v", cs)
+	}
+	// First-writer-wins: racing workers may translate the same block, but
+	// the store keeps one unit per block — its size is one image's worth.
+	if cs.Puts != uint64(cs.Units) {
+		t.Fatalf("store grew %d times for %d units", cs.Puts, cs.Units)
+	}
+	// Warm jobs adopt far more than the one cold job translated.
+	if cs.Hits < 4*uint64(cs.Units) {
+		t.Fatalf("jobs adopted only %d blocks for a %d-unit store", cs.Hits, cs.Units)
+	}
+	snap := s.MetricsSnapshot()
+	if got := snap.Counters["tstore_translations_total"]; got != cs.Puts {
+		t.Fatalf("metrics report %d translations, store says %d", got, cs.Puts)
+	}
+}

@@ -1,0 +1,137 @@
+package tstore
+
+// The persistent tier: one file per Key under the cache directory, named by
+// a hash of the canonical key string. The full key string is also written
+// into the file header and must match exactly on load — a file that
+// disagrees (different image content, tool, engine, budget, delivery mode
+// or format version) is ignored wholesale, so a stale tier can never serve
+// a translation for the wrong universe. Units are CRC32-framed: a torn tail
+// from a killed writer truncates the warm start at the last good frame.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+var fileMagic = []byte("TGTC")
+
+// fileName derives the store file name from the key. The hash keeps file
+// names short and filesystem-safe; the header check carries the actual
+// invalidation guarantee.
+func fileName(dir string, key Key) string {
+	sum := sha256.Sum256([]byte(key.String()))
+	return filepath.Join(dir, hex.EncodeToString(sum[:12])+".tcache")
+}
+
+// loadStore warm-starts st from its file, best-effort: any mismatch or
+// corruption leaves the store cold (possibly partially warm on a torn
+// tail). Called with the store not yet published, so no locking subtleties.
+func loadStore(dir string, st *Store) {
+	data, err := os.ReadFile(fileName(dir, st.key))
+	if err != nil {
+		return
+	}
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != string(fileMagic) {
+		return
+	}
+	d := &dec{buf: data, off: len(fileMagic)}
+	if d.str() != st.key.String() || d.err != nil {
+		// Hash-collision or hand-renamed file: wrong universe, ignore.
+		return
+	}
+	loaded := 0
+	for d.off < len(d.buf) {
+		payload, ok := readFrame(d)
+		if !ok {
+			break // torn tail: keep the frames before it
+		}
+		u, err := decodeUnit(&dec{buf: payload})
+		if err != nil {
+			break
+		}
+		st.units[u.Addr] = u
+		loaded++
+	}
+	st.saved = loaded
+}
+
+// readFrame pulls one length+CRC framed payload; ok=false on any
+// truncation or checksum failure.
+func readFrame(d *dec) ([]byte, bool) {
+	n, w := binary.Uvarint(d.buf[d.off:])
+	if w <= 0 || n > uint64(len(d.buf)-d.off-w) {
+		return nil, false
+	}
+	d.off += w
+	if len(d.buf)-d.off < 4+int(n) {
+		return nil, false
+	}
+	want := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	payload := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// saveStore writes the store's units to its file when it grew since the
+// last save. Whole-file write to a temp path plus rename: concurrent
+// readers see either the old complete tier or the new one.
+func saveStore(dir string, st *Store) error {
+	st.mu.RLock()
+	grown := len(st.units) > st.saved
+	units := make([]*Unit, 0, len(st.units))
+	for _, u := range st.units {
+		units = append(units, u)
+	}
+	st.mu.RUnlock()
+	if !grown {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tstore: save: %w", err)
+	}
+	e := &enc{buf: append([]byte{}, fileMagic...)}
+	e.str(st.key.String())
+	var ue enc
+	for _, u := range units {
+		ue.buf = ue.buf[:0]
+		encodeUnit(&ue, u)
+		e.u64(uint64(len(ue.buf)))
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(ue.buf))
+		e.buf = append(e.buf, crc[:]...)
+		e.buf = append(e.buf, ue.buf...)
+	}
+	path := fileName(dir, st.key)
+	tmp, err := os.CreateTemp(dir, ".tcache-*")
+	if err != nil {
+		return fmt.Errorf("tstore: save: %w", err)
+	}
+	if _, err := tmp.Write(e.buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tstore: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tstore: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tstore: save: %w", err)
+	}
+	st.mu.Lock()
+	if len(units) > st.saved {
+		st.saved = len(units)
+	}
+	st.mu.Unlock()
+	return nil
+}

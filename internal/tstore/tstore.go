@@ -1,0 +1,344 @@
+// Package tstore is the content-addressed shared translation store: the
+// analog of Valgrind's tt/tc translation tiers lifted out of the per-core
+// caches so translation happens once per program image, not once per run.
+//
+// Translation in this system is deterministic: the same (image, tool,
+// engine, extend budget, delivery mode) always produces the same
+// instrumented superblock and the same compiled micro-op array. That makes
+// translations content-addressable — a Key is the full set of inputs the
+// translator consumes, with the image reduced to a content hash — and
+// therefore shareable across cores, across sweep workers, across daemon
+// jobs, and (via the on-disk tier) across process restarts.
+//
+// A Unit carries the portable form of one translated superblock. Portable
+// means every embedded helper closure is represented by its (Name, Meta,
+// Args) triple rather than the closure itself: closures are bound to the
+// core and tool instance that produced them, so an adopting core re-binds
+// equivalent helpers of its own (copy-on-attach, implemented in
+// internal/dbi). Everything per-thread and mutable — chain predictions,
+// dispatch tables, generation counters — stays in the adopting core.
+package tstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/guest"
+	"repro/internal/vex"
+)
+
+// FormatVersion is baked into every Key (and therefore every on-disk file
+// header). Bump it whenever the unit encoding, the IR, the micro-op set or
+// the translator's output changes shape: old files then simply never match
+// and the store starts cold instead of serving stale translations.
+const FormatVersion = 1
+
+// Key identifies one translation universe: every input that can change the
+// bytes a translation produces. Two runs with equal Keys may share
+// translations; any difference — a rebuilt image, another tool, a bumped
+// format — yields a disjoint store.
+type Key struct {
+	// Image is the content hash of the guest image (ImageHash).
+	Image string
+	// Tool is the registry name of the tool ("none", "taskgrind",
+	// "memcheck", ...). Registry names, not Tool.Name(): variants like
+	// taskgrind-naive share a report name but may instrument differently.
+	Tool string
+	// Engine is the execution engine ("ir" or "compiled").
+	Engine string
+	// Extend is the superblock extension budget.
+	Extend int
+	// Delivery is the access-delivery mode ("batched" or "per-event").
+	Delivery string
+	// Version pins the store format; NewKey sets it to FormatVersion.
+	Version int
+}
+
+// String renders the canonical form hashed into the on-disk file name and
+// written into the file header.
+func (k Key) String() string {
+	return fmt.Sprintf("v%d/img=%s/tool=%s/engine=%s/extend=%d/delivery=%s",
+		k.Version, k.Image, k.Tool, k.Engine, k.Extend, k.Delivery)
+}
+
+// ImageHash computes the content hash of a guest image: text, data, entry,
+// host imports, TLS size, symbols and line tables. Symbols and lines are
+// included because tools instrument by symbol (taskgrind's runtime-symbol
+// filter) and report by source line — a relinked image with moved symbols
+// must not be served another image's translations.
+func ImageHash(im *guest.Image) string {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wstr := func(s string) {
+		w64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	w64(uint64(len(im.Text)))
+	for _, t := range im.Text {
+		w64(t)
+	}
+	w64(uint64(len(im.Data)))
+	h.Write(im.Data)
+	w64(im.Entry)
+	w64(im.TLSSize)
+	w64(uint64(len(im.HostImports)))
+	for _, s := range im.HostImports {
+		wstr(s)
+	}
+	w64(uint64(len(im.Symbols)))
+	for _, s := range im.Symbols {
+		wstr(s.Name)
+		w64(s.Addr)
+		w64(s.Size)
+		w64(uint64(s.Kind))
+	}
+	w64(uint64(len(im.Lines)))
+	for _, l := range im.Lines {
+		w64(l.Addr)
+		w64(l.Len)
+		wstr(l.File)
+		w64(uint64(l.Line))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Unit is one translated superblock in portable form. Units are immutable
+// once published: attaching a compiled form replaces the map entry with a
+// copy, so readers holding a Unit never observe mutation.
+type Unit struct {
+	// Addr is the guest entry address of the superblock.
+	Addr uint64
+	// SB is the instrumented (and optimized) IR. In a disk-loaded unit the
+	// dirty statements carry nil Fn until a core re-binds them.
+	SB *vex.SuperBlock
+	// Code is the compiled micro-op form; nil until some core (or the
+	// pretranslation pipeline) compiles the block.
+	Code *vex.Compiled
+	// Seams is the number of superblock-extension seams crossed translating
+	// this block, replayed into the adopting core's counter.
+	Seams int
+	// Pretranslated marks units published by the ahead-of-execution
+	// pipeline rather than by a running guest.
+	Pretranslated bool
+}
+
+// Store is the shared translation tier for a single Key: a concurrent
+// address-indexed map of Units. All methods are safe for concurrent use.
+type Store struct {
+	key Key
+
+	mu    sync.RWMutex
+	units map[uint64]*Unit
+	// saved counts units already persisted; Cache.Save rewrites the file
+	// only when len(units) has grown past it.
+	saved int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// NewStore creates an empty store for key.
+func NewStore(key Key) *Store {
+	return &Store{key: key, units: make(map[uint64]*Unit)}
+}
+
+// Key returns the store's identity.
+func (s *Store) Key() Key { return s.key }
+
+// Get returns the unit at addr, or nil. Hit/miss counters feed the
+// amortization assertions and the daemon's metrics.
+func (s *Store) Get(addr uint64) *Unit {
+	s.mu.RLock()
+	u := s.units[addr]
+	s.mu.RUnlock()
+	if u == nil {
+		s.misses.Add(1)
+		return nil
+	}
+	s.hits.Add(1)
+	return u
+}
+
+// Put publishes a unit, merging with any existing entry. The first writer
+// wins field-by-field: an existing unit is never replaced, but a unit
+// published without a compiled form gains one from a later Put. Determinism
+// makes every published value for one address equivalent, so "first wins"
+// is a performance policy, not a correctness one.
+func (s *Store) Put(u *Unit) {
+	if u == nil || u.SB == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.units[u.Addr]
+	if cur == nil {
+		s.units[u.Addr] = u
+		s.puts.Add(1)
+		return
+	}
+	if cur.Code == nil && u.Code != nil {
+		merged := *cur
+		merged.Code = u.Code
+		s.units[u.Addr] = &merged
+	}
+}
+
+// PutCode attaches a compiled form to an already-published unit. No-op when
+// the address has no unit or already carries code.
+func (s *Store) PutCode(addr uint64, code *vex.Compiled) {
+	if code == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.units[addr]
+	if cur == nil || cur.Code != nil {
+		return
+	}
+	merged := *cur
+	merged.Code = code
+	s.units[addr] = &merged
+}
+
+// Len returns the number of published units.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.units)
+}
+
+// Each calls fn for every unit. Used by the persistence tier and the
+// pretranslation pipeline's frontier seeding.
+func (s *Store) Each(fn func(*Unit)) {
+	s.mu.RLock()
+	units := make([]*Unit, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.mu.RUnlock()
+	for _, u := range units {
+		fn(u)
+	}
+}
+
+// Stats is a point-in-time snapshot of one store's counters.
+type Stats struct {
+	Units  int
+	Hits   uint64
+	Misses uint64
+	// Puts counts distinct units published — the number of actual
+	// translations performed against this store across all attached cores
+	// and pipelines.
+	Puts uint64
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Units:  s.Len(),
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Puts:   s.puts.Load(),
+	}
+}
+
+// Cache is a registry of stores, one per Key, optionally backed by an
+// on-disk directory. A process typically holds one Cache (per sweep, per
+// daemon, per CLI invocation) and every harness instance resolves its
+// Store through it.
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	stores map[Key]*Store
+}
+
+// NewCache creates a cache. dir == "" keeps the cache purely in-memory;
+// otherwise stores load from and save to dir (created on first Save).
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir, stores: make(map[Key]*Store)}
+}
+
+// Dir returns the backing directory ("" for memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Open returns the store for key, creating it (and warm-loading it from
+// disk, when the cache is directory-backed) on first use. Disk problems —
+// missing file, stale format, torn tail, corruption — degrade to a cold
+// store, never to an error: the store is an accelerator, not a dependency.
+func (c *Cache) Open(key Key) *Store {
+	if key.Version == 0 {
+		key.Version = FormatVersion
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.stores[key]; ok {
+		return st
+	}
+	st := NewStore(key)
+	if c.dir != "" {
+		loadStore(c.dir, st) // best-effort warm start
+	}
+	c.stores[key] = st
+	return st
+}
+
+// Save persists every store that grew since its last save. Memory-only
+// caches no-op. Files are written whole to a temp file and renamed, so a
+// crashed save never corrupts an existing tier.
+func (c *Cache) Save() error {
+	if c.dir == "" {
+		return nil
+	}
+	c.mu.Lock()
+	stores := make([]*Store, 0, len(c.stores))
+	for _, st := range c.stores {
+		stores = append(stores, st)
+	}
+	c.mu.Unlock()
+	var first error
+	for _, st := range stores {
+		if err := saveStore(c.dir, st); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CacheStats aggregates all stores in a cache.
+type CacheStats struct {
+	Stores int
+	Units  int
+	Hits   uint64
+	Misses uint64
+	Puts   uint64
+}
+
+// Stats sums the counters of every open store.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	stores := make([]*Store, 0, len(c.stores))
+	for _, st := range c.stores {
+		stores = append(stores, st)
+	}
+	c.mu.Unlock()
+	var cs CacheStats
+	cs.Stores = len(stores)
+	for _, st := range stores {
+		s := st.Stats()
+		cs.Units += s.Units
+		cs.Hits += s.Hits
+		cs.Misses += s.Misses
+		cs.Puts += s.Puts
+	}
+	return cs
+}

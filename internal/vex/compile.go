@@ -207,9 +207,11 @@ const NoChain int32 = -1
 type UOp struct {
 	Code UCode
 	Wd   uint8
-	// Op is the IR operation a binop micro-op was lowered from. The engine
-	// never reads it (Fn is pre-bound); the peephole fuser uses it to
-	// recognize address arithmetic (func values are not comparable).
+	// Op is the IR operation a binop or unop micro-op was lowered from. The
+	// engine never reads it (Fn/Fn1 are pre-bound); the peephole fuser uses
+	// it to recognize address arithmetic (func values are not comparable),
+	// and the translation store's decoder uses it to re-bind Fn/Fn1 from the
+	// op tables after deserialization. Every op-table micro-op must carry it.
 	Op       Op
 	Dst      uint32
 	A, B     uint32
@@ -225,6 +227,10 @@ type DirtyOp struct {
 	Name string
 	Fn   DirtyFn
 	Args []CArg
+	// Meta carries the helper's serializable parameters from the source
+	// Stmt, so a deserialized or cross-core-adopted block can re-bind an
+	// equivalent helper (the closure in Fn is bound to one core).
+	Meta []uint64
 	// Tmp is the result temp; HasTmp false means the result is dropped.
 	Tmp    uint32
 	HasTmp bool
@@ -444,7 +450,8 @@ func Compile(sb *SuperBlock) (*Compiled, error) {
 			if s.Fn == nil {
 				return nil, fmt.Errorf("vex: compile: dirty %q has nil helper", s.Name)
 			}
-			d := &DirtyOp{Name: s.Name, Fn: s.Fn, Args: make([]CArg, len(s.Args)), InstrsBefore: cc.ic}
+			d := &DirtyOp{Name: s.Name, Fn: s.Fn, Args: make([]CArg, len(s.Args)),
+				Meta: s.Meta, InstrsBefore: cc.ic}
 			for j, a := range s.Args {
 				k, idx, imm := src(a)
 				d.Args[j] = CArg{Kind: k, Idx: idx, Imm: imm}
@@ -552,7 +559,7 @@ func (cc *compiler) fuse() {
 					ec = UExitBinRR
 				}
 				if ec != 0 {
-					fused = UOp{Code: ec, A: u.A, B: u.B, Fn: u.Fn,
+					fused = UOp{Code: ec, A: u.A, B: u.B, Fn: u.Fn, Op: u.Op,
 						Dst: v.Dst, Imm: v.Imm, ChainIdx: v.ChainIdx}
 					n = 2
 				}
@@ -565,7 +572,7 @@ func (cc *compiler) fuse() {
 				if u.Code == UUnR {
 					code = UPutUnR
 				}
-				fused = UOp{Code: code, Dst: v.Dst, A: u.A, Fn1: u.Fn1}
+				fused = UOp{Code: code, Dst: v.Dst, A: u.A, Fn1: u.Fn1, Op: u.Op}
 				n = 2
 			}
 		}
@@ -646,9 +653,9 @@ func (cc *compiler) compileUnop(s *Stmt) error {
 	case KindConst:
 		cc.emit(UOp{Code: UMovC, Dst: dst, Imm: EvalUnop(s.Op, imm)})
 	case KindRdTmp:
-		cc.emit(UOp{Code: UUnT, Dst: dst, A: idx, Fn1: fn})
+		cc.emit(UOp{Code: UUnT, Dst: dst, A: idx, Fn1: fn, Op: s.Op})
 	default:
-		cc.emit(UOp{Code: UUnR, Dst: dst, A: idx, Fn1: fn})
+		cc.emit(UOp{Code: UUnR, Dst: dst, A: idx, Fn1: fn, Op: s.Op})
 	}
 	return nil
 }

@@ -189,10 +189,14 @@ type Stmt struct {
 	JK     JumpKind
 
 	// SDirty: helper index into the machine's dirty-helper table plus
-	// argument expressions.
+	// argument expressions. Meta carries the helper's serializable
+	// parameters: a closure bound to one core cannot cross core or process
+	// boundaries, but (Name, Meta, Args) can, letting an adopting core
+	// rebind an equivalent helper of its own (see the translation store).
 	Fn   DirtyFn
 	Name string
 	Args []Expr
+	Meta []uint64
 }
 
 // NoTemp marks an unused result temp on a Dirty statement.
