@@ -1,16 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch replay-determinism tstore-equiv bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism tstore-equiv lock-matrix bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
 # focused batched-delivery pass), the replay-determinism gate, the
 # translation-store equivalence gate, the fuzzer smoke run, both benchmark
 # smoke runs (BENCH_obs.json; bench-perf-smoke does not overwrite the
 # recorded BENCH_perf.json), the record-and-query smoke, the daemon load +
-# chaos-soak tests, and the hot-path + checkpoint-overhead +
-# recording-overhead + serve-throughput + warm-store regression guards
-# against the recorded baseline.
-check: vet build race race-batch replay-determinism tstore-equiv fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
+# chaos-soak tests, the six-tool lock verdict-matrix gate, and the
+# hot-path + checkpoint-overhead + recording-overhead + serve-throughput +
+# warm-store regression guards against the recorded baseline.
+check: vet build race race-batch replay-determinism tstore-equiv lock-matrix fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,16 @@ tstore-equiv:
 	$(GO) test -race -count=1 ./internal/tstore
 	$(GO) test -race -count=1 -run 'TestStoreEquivalence|TestStoreInvalidation|TestStoreConcurrentWorkers|TestSweepAmortization|TestJobsShareTranslationStore' . ./internal/serve
 
+# Lock verdict-matrix gate: the six-tool x lock-scenario acceptance matrix
+# (expected verdict per cell on every default seed, byte-identical reports
+# across engines, replay-token reproduction of every reporting cell), the
+# lock-scenario goldens under both delivery modes and engines, the
+# scheduler-neutrality pin for lock-free programs, and the lock-fault
+# injection determinism/journal/sweep suite. Fresh run (-count=1) so the
+# gate never passes on a cached result.
+lock-matrix:
+	$(GO) test -count=1 -run 'TestVerdictMatrix|TestGoldenLockReports|TestLockSchedulerUnperturbed|TestLockFault' ./internal/tools/golden ./internal/harness ./internal/explore .
+
 # Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
 # and the instruction decoder. Go runs one -fuzz package at a time, hence two
 # invocations.
@@ -65,15 +75,16 @@ bench-obs:
 # Engine comparison on the Table I suite (IR interpreter vs compiled
 # micro-op engine, with and without superblock extension), the
 # tool-delivery comparison (per-event vs batched under memcheck), and the
-# checkpoint/journal overhead arms; writes the "engines", "tool_delivery"
-# and "robustness" sections of BENCH_perf.json. Longer -benchtime
+# checkpoint/journal overhead arms, plus the lock-contention comparison;
+# writes the "engines", "tool_delivery", "robustness" and "locks" sections
+# of BENCH_perf.json. Longer -benchtime
 # accumulates more samples and tightens the numbers.
 bench-perf:
-	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness' -benchtime 10x .
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkLockContention' -benchtime 10x .
 
 # Smoke run for the gate: exercises every arm once, no JSON output.
 bench-perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkRecording' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkRecording|BenchmarkLockContention' -benchtime 1x .
 
 # Recording-overhead comparison (ring sink vs columnar run store on the
 # observability workload); writes the "recording" section of BENCH_perf.json.

@@ -37,9 +37,6 @@ import (
 	"repro/internal/obs/store"
 	"repro/internal/progs"
 	"repro/internal/snapshot"
-	"repro/internal/tools/archer"
-	"repro/internal/tools/memcheck"
-	"repro/internal/tools/romp"
 	"repro/internal/tools/toolreg"
 	"repro/internal/trace"
 	"repro/internal/tstore"
@@ -94,7 +91,7 @@ func main() {
 		maxInstrs  = flag.Uint64("max-instrs", 0, "watchdog: abort after N guest instructions (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "watchdog: abort after this wall-clock time (0 = unlimited)")
 		lenientMem = flag.Bool("lenient-mem", false, "disable the strict guest memory model (wild accesses allocate silently)")
-		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched, panic)")
+		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched, panic, spurious, handoff, trylock)")
 		injectSeed = flag.Uint64("inject-seed", 1, "fault injection seed (phases the -inject firing patterns)")
 		// Recovery knobs: replay tokens, checkpointing, panic fallback.
 		replayTok    = flag.String("replay", "", "re-run the configuration encoded in a crash report's replay token (tg1:...); overrides the program/tool/seed flags")
@@ -111,9 +108,13 @@ func main() {
 
 	if *list {
 		fmt.Println("task.c   (the paper's Listing 4 example)")
+		fmt.Println("task.c-critical (Listing 4 with the task bodies in a critical section)")
 		fmt.Println("lulesh   (the proxy application; -s -tel -tnl -i -racy)")
 		fmt.Println("wildstore (fault-model demo: a task stores through a wild pointer)")
 		for _, b := range drb.All() {
+			fmt.Println(b.Name)
+		}
+		for _, b := range drb.LockSuite() {
 			fmt.Println(b.Name)
 		}
 		return
@@ -479,29 +480,20 @@ func main() {
 	if tee, ok := tl.(trace.Tee); ok {
 		tl = tee.A
 	}
-	switch tt := tl.(type) {
-	case *core.Taskgrind:
-		if *dotFile != "" {
-			df, derr := os.Create(*dotFile)
-			if derr != nil {
-				fatal(derr)
-			}
-			if derr := tt.DumpDOT(df); derr != nil {
-				fatal(derr)
-			}
-			df.Close()
-			fmt.Fprintf(os.Stderr, "segment graph written to %s\n", *dotFile)
+	if tt, ok := tl.(*core.Taskgrind); ok && *dotFile != "" {
+		df, derr := os.Create(*dotFile)
+		if derr != nil {
+			fatal(derr)
 		}
-		if tt.Opt.IgnoreMutexinoutsetDeps { // the ROMP configuration
-			fmt.Print(romp.Format(&tt.Reports))
-		} else {
-			fmt.Print(tt.Reports.String())
+		if derr := tt.DumpDOT(df); derr != nil {
+			fatal(derr)
 		}
-	case *archer.Archer:
-		fmt.Print(tt.String())
-	case *memcheck.Memcheck:
-		fmt.Print(tt.String())
-	default:
+		df.Close()
+		fmt.Fprintf(os.Stderr, "segment graph written to %s\n", *dotFile)
+	}
+	if text, ok := toolreg.Render(tl); ok {
+		fmt.Print(text)
+	} else {
 		fmt.Printf("== %d report(s)\n", count())
 	}
 	if count() > 0 {

@@ -254,6 +254,8 @@ func runExplore(args []string, stdout io.Writer) {
 		workers    = fs.Int("workers", 4, "concurrent machines")
 		recordDir  = fs.String("record", "", "record every run into this store directory")
 		supervised = fs.Bool("supervised", false, "drive every seed through the crash-recovery supervisor (verified quarantine)")
+		inject     = fs.String("inject", "", "fault injection spec applied to every seed, e.g. \"trylock=3\" (kinds: heap, pool, steal, sched, panic, spurious, handoff, trylock)")
+		injectSeed = fs.Uint64("inject-seed", 1, "fault injection seed (phases the -inject firing patterns)")
 		s          = fs.Int("s", 8, "lulesh: mesh size")
 		tel        = fs.Int("tel", 4, "lulesh: tasks per element loop")
 		tnl        = fs.Int("tnl", 4, "lulesh: tasks per node loop")
@@ -267,10 +269,12 @@ func runExplore(args []string, stdout io.Writer) {
 	}
 	opts := explore.Opts{
 		Workers: *workers, Prog: *prog, Engine: *engine,
+		Inject: *inject, InjectSeed: *injectSeed,
 		TokenFor: func(seed int) string {
 			cfg := snapshot.Config{
 				Prog: *prog, Tool: *tool, Seed: uint64(seed),
 				Threads: *threads, Engine: *engine,
+				Inject: *inject, InjectSeed: *injectSeed,
 			}
 			if *prog == "lulesh" {
 				cfg.LSize, cfg.LIters, cfg.LTasksEl, cfg.LTasksNd, cfg.LRacy =

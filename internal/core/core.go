@@ -214,6 +214,11 @@ type Stats struct {
 type Taskgrind struct {
 	Opt   Options
 	Stats Stats
+	// Variant is the registry name this instance was configured under
+	// ("taskgrind-naive", "tasksan", ...). Differently-configured instances
+	// instrument differently, so the translation store must not key them all
+	// under the shared Name(); see ToolID.
+	Variant string
 
 	c     *dbi.Core
 	graph *seggraph.Graph
@@ -257,6 +262,19 @@ func New(opt Options) *Taskgrind {
 
 // Name implements dbi.Tool.
 func (tg *Taskgrind) Name() string { return "taskgrind" }
+
+// ToolID implements dbi.Identifier: the translation-store identity. Every
+// option that changes Instrument's output (ignore lists, compile-time
+// scoping) lives in the registry configuration, so the registry name is the
+// correct cache key — Name() alone would collide taskgrind with
+// taskgrind-naive (whose suppressions are off and whose instrumentation
+// therefore covers more code).
+func (tg *Taskgrind) ToolID() string {
+	if tg.Variant != "" {
+		return tg.Variant
+	}
+	return tg.Name()
+}
 
 // Attach implements dbi.Attacher: installs the allocator overload and the
 // shadow-footprint reporter.

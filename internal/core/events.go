@@ -256,9 +256,37 @@ func (tg *Taskgrind) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uin
 			ts.cur = cont
 		}
 
-	case ompt.CRRelease:
-		// Generic happens-before release (Qthreads FEB write): data-flow
-		// ordering every tool honors, unlike mutual exclusion.
+	case ompt.CRMutexAcquire:
+		// Guest-level mutexes follow the same §VI policy as critical
+		// sections: mutual exclusion does not order segments for
+		// determinacy analysis; only MutexOrders tools chain them.
+		if tg.Opt.MutexOrders && ts.cur != nil {
+			if tg.critRel == nil {
+				tg.critRel = make(map[uint64]*Segment)
+			}
+			cont := tg.newSegment(t, ts.cur.Label, ts.cur.TaskID)
+			tg.graph.AddEdge(ts.cur.Node, cont.Node)
+			if rel := tg.critRel[args[0]]; rel != nil {
+				tg.graph.AddEdge(rel.Node, cont.Node)
+			}
+			ts.cur = cont
+		}
+
+	case ompt.CRMutexRelease:
+		if tg.Opt.MutexOrders && ts.cur != nil {
+			if tg.critRel == nil {
+				tg.critRel = make(map[uint64]*Segment)
+			}
+			tg.critRel[args[0]] = ts.cur
+			cont := tg.newSegment(t, ts.cur.Label, ts.cur.TaskID)
+			tg.graph.AddEdge(ts.cur.Node, cont.Node)
+			ts.cur = cont
+		}
+
+	case ompt.CRRelease, ompt.CRCondSignal, ompt.CRCondBroadcast:
+		// Generic happens-before release (Qthreads FEB write, condvar
+		// signal): data-flow ordering every tool honors, unlike mutual
+		// exclusion — a signalled waiter provably returns after the signal.
 		if ts.cur != nil {
 			if tg.relSeg == nil {
 				tg.relSeg = make(map[uint64]*Segment)
@@ -269,7 +297,7 @@ func (tg *Taskgrind) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uin
 			ts.cur = cont
 		}
 
-	case ompt.CRAcquire:
+	case ompt.CRAcquire, ompt.CRCondWait:
 		if ts.cur != nil {
 			cont := tg.newSegment(t, ts.cur.Label, ts.cur.TaskID)
 			tg.graph.AddEdge(ts.cur.Node, cont.Node)

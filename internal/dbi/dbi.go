@@ -195,6 +195,15 @@ type Attacher interface {
 	Attach(c *Core)
 }
 
+// Identifier is implemented by tools whose instrumentation depends on
+// configuration beyond the tool type: the translation store keys units by
+// ToolID instead of Name, so two same-named instances with different
+// instrumentation (e.g. taskgrind with and without its ignore-lists) never
+// share translations.
+type Identifier interface {
+	ToolID() string
+}
+
 // CompileTimeTool is implemented by tools modelling compile-time (or static
 // binary rewriting) instrumentation: instead of the heavyweight IR engine,
 // they run on the direct interpreter with compiled-in access hooks — the

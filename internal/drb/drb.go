@@ -116,9 +116,15 @@ func All() []Benchmark {
 	return append(out, tmbSuite()...)
 }
 
-// ByName finds a benchmark.
+// ByName finds a benchmark, searching the Table I suites and the lock
+// scenarios (which live outside All so the table reproduction stays exact).
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range LockSuite() {
 		if b.Name == name {
 			return b, true
 		}

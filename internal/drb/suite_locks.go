@@ -1,0 +1,322 @@
+package drb
+
+import (
+	"repro/internal/gbuild"
+	"repro/internal/omp"
+)
+
+// LockSuite returns the guest-level lock scenarios: the rows of the
+// six-tool × lock-scenario verdict matrix. They live outside All() on
+// purpose — Table I reproduces the paper's benchmark set exactly, and these
+// rows exist to separate *data-race* verdicts (lockset/vector-clock tools)
+// from *determinacy* verdicts (Taskgrind reports lock-serialized updates as
+// nondeterminism, per §VI). Benchmark.Race carries the data-race ground
+// truth for these rows.
+func LockSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "lock-100-mutex-counter", Race: false, Build: buildMutexCounter},
+		{Name: "lock-101-diff-mutex", Race: true, Build: buildDiffMutex},
+		{Name: "lock-102-no-lock", Race: true, Build: buildNoLock},
+		{Name: "lock-103-lock-order", Race: false, Build: buildLockOrder},
+		{Name: "lock-104-condvar", Race: false, Build: buildCondvar},
+		{Name: "lock-105-trylock", Race: false, Build: buildTrylock},
+		{Name: "lock-106-trylock-crash", Race: false, Build: buildTrylockCrash},
+	}
+}
+
+// emitLockMain is emitMain with a serial setup callback (mutex/condvar
+// creation) before the parallel region.
+func emitLockMain(b *gbuild.Builder, file string, setup func(f *gbuild.Func)) {
+	f := b.Func("main", file)
+	f.Enter(0)
+	setup(f)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+}
+
+// lockedAdder defines a task function that adds val to global sym while
+// holding the mutex stored in global mutexSym.
+func lockedAdder(b *gbuild.Builder, name, file string, line int, mutexSym, sym string, val int32) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.Enter(0)
+	omp.WithMutex(f, mutexSym, func() {
+		f.LoadSym(r1, sym)
+		f.Ld(8, r2, r1, 0)
+		f.Addi(r2, r2, val)
+		f.St(8, r1, 0, r2)
+	})
+	f.Leave()
+}
+
+// buildMutexCounter: two sibling tasks increment one counter under the SAME
+// mutex. Lock-aware tools see a common lockset (or an acquire/release
+// vector-clock chain) and stay silent; Taskgrind reports the pair — the
+// final counter value is deterministic but the write order is not, and
+// mutual exclusion is not ordering (§VI).
+func buildMutexCounter() *gbuild.Builder {
+	const file = "lock100.c"
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("counter", 8)
+	lockedAdder(b, "inc_a", file, 10, "m", "counter", 1)
+	lockedAdder(b, "inc_b", file, 15, "m", "counter", 2)
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(20)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_a"})
+		f.Line(21)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_b"})
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m")
+	})
+	return b
+}
+
+// buildDiffMutex: the classic lockset bug — both tasks lock, but each locks
+// a *different* mutex, so the locksets are disjoint and the counter update
+// is a real data race every tool should report.
+func buildDiffMutex() *gbuild.Builder {
+	const file = "lock101.c"
+	b := omp.NewProgram()
+	b.Global("m1", 8)
+	b.Global("m2", 8)
+	b.Global("counter", 8)
+	lockedAdder(b, "inc_a", file, 10, "m1", "counter", 1)
+	lockedAdder(b, "inc_b", file, 15, "m2", "counter", 2)
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(20)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_a"})
+		f.Line(21)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_b"})
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m1")
+		f.Line(6)
+		omp.MutexInit(f, "m2")
+	})
+	return b
+}
+
+// buildNoLock: one task updates the counter under the mutex, the other
+// writes it bare — disjoint locksets ({M1} vs {}), a race.
+func buildNoLock() *gbuild.Builder {
+	const file = "lock102.c"
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("counter", 8)
+	lockedAdder(b, "inc_a", file, 10, "m", "counter", 1)
+	globalWriter(b, "set_b", file, 15, "counter", 7)
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(20)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_a"})
+		f.Line(21)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "set_b"})
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m")
+	})
+	return b
+}
+
+// lockOrderTask defines a task that takes outerSym then innerSym and
+// increments the counter holding both.
+func lockOrderTask(b *gbuild.Builder, name, file string, line int, outerSym, innerSym string) {
+	f := b.Func(name, file)
+	f.Line(line)
+	f.Enter(0)
+	omp.WithMutex(f, outerSym, func() {
+		omp.WithMutex(f, innerSym, func() {
+			f.LoadSym(r1, "counter")
+			f.Ld(8, r2, r1, 0)
+			f.Addi(r2, r2, 1)
+			f.St(8, r1, 0, r2)
+		})
+	})
+	f.Leave()
+}
+
+// buildLockOrder: task A nests m1→m2, task B nests m2→m1, but a taskwait
+// serializes them so this schedule never deadlocks. No data race (every
+// access holds both locks), yet the acquisition-order graph has the
+// m1→m2→m1 cycle — the potential deadlock only a lock-order tool reports.
+func buildLockOrder() *gbuild.Builder {
+	const file = "lock103.c"
+	b := omp.NewProgram()
+	b.Global("m1", 8)
+	b.Global("m2", 8)
+	b.Global("counter", 8)
+	lockOrderTask(b, "ab_task", file, 10, "m1", "m2")
+	lockOrderTask(b, "ba_task", file, 18, "m2", "m1")
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(26)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ab_task"})
+		omp.Taskwait(f)
+		f.Line(28)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "ba_task"})
+		omp.Taskwait(f)
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m1")
+		f.Line(6)
+		omp.MutexInit(f, "m2")
+	})
+	return b
+}
+
+// buildCondvar: a producer/consumer pair over a condvar. The producer
+// publishes data and sets ready under the mutex, then signals; the consumer
+// re-checks the predicate in a wait loop (spurious wakeups allowed) and
+// reads data under the same mutex. Race-free for every lock-aware tool;
+// Taskgrind still reports the pair (the schedule decides which task runs
+// first — mutual exclusion without ordering, §VI).
+func buildCondvar() *gbuild.Builder {
+	const file = "lock104.c"
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("c", 8)
+	b.Global("ready", 8)
+	b.Global("data", 8)
+	b.Global("out", 8)
+
+	f := b.Func("producer", file)
+	f.Line(10)
+	f.Enter(0)
+	omp.WithMutex(f, "m", func() {
+		f.LoadSym(r1, "data")
+		f.Ldi(r2, 42)
+		f.St(8, r1, 0, r2)
+		f.LoadSym(r1, "ready")
+		f.Ldi(r2, 1)
+		f.St(8, r1, 0, r2)
+	})
+	omp.CondSignal(f, "c")
+	f.Leave()
+
+	f = b.Func("consumer", file)
+	f.Line(20)
+	f.Enter(0)
+	f.LoadSym(r0, "m")
+	f.Ld(8, r0, r0, 0)
+	f.Call("__kmpc_mutex_lock")
+	chk := f.NewLabel()
+	got := f.NewLabel()
+	f.Bind(chk)
+	f.LoadSym(r1, "ready")
+	f.Ld(8, r2, r1, 0)
+	f.Ldi(r3, 1)
+	f.Beq(r2, r3, got)
+	omp.CondWait(f, "c", "m")
+	f.Jmp(chk)
+	f.Bind(got)
+	f.LoadSym(r1, "data")
+	f.Ld(8, r2, r1, 0)
+	f.LoadSym(r3, "out")
+	f.St(8, r3, 0, r2)
+	f.LoadSym(r0, "m")
+	f.Ld(8, r0, r0, 0)
+	f.Call("__kmpc_mutex_unlock")
+	f.Leave()
+
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(35)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "consumer"})
+		f.Line(36)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "producer"})
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m")
+		f.Line(6)
+		omp.CondInit(f, "c")
+	})
+	return b
+}
+
+// buildTrylock: the second task opportunistically trylocks; on success it
+// updates the shared counter under the mutex, otherwise it writes its own
+// fallback cell. Race-free on both paths. Under `-inject trylock=N` the
+// fallback path is taken deterministically.
+func buildTrylock() *gbuild.Builder {
+	const file = "lock105.c"
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("counter", 8)
+	b.Global("fallback", 8)
+	lockedAdder(b, "inc_a", file, 10, "m", "counter", 1)
+
+	f := b.Func("try_b", file)
+	f.Line(15)
+	f.Enter(0)
+	omp.TryMutex(f, "m", func() {
+		f.LoadSym(r1, "counter")
+		f.Ld(8, r2, r1, 0)
+		f.Addi(r2, r2, 2)
+		f.St(8, r1, 0, r2)
+	}, func() {
+		f.LoadSym(r1, "fallback")
+		f.Ldi(r2, 1)
+		f.St(8, r1, 0, r2)
+	})
+	f.Leave()
+
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(25)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_a"})
+		f.Line(26)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "try_b"})
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m")
+	})
+	return b
+}
+
+// buildTrylockCrash: like lock-105 but serialized by a taskwait so the
+// trylock can never fail naturally — and the fallback path contains a wild
+// store. Only an injected trylock failure (`-inject trylock=N`) reaches it,
+// which makes this the quarantine scenario for lock-fault explore sweeps.
+func buildTrylockCrash() *gbuild.Builder {
+	const file = "lock106.c"
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("counter", 8)
+	lockedAdder(b, "inc_a", file, 10, "m", "counter", 1)
+
+	f := b.Func("try_b", file)
+	f.Line(15)
+	f.Enter(0)
+	omp.TryMutex(f, "m", func() {
+		f.LoadSym(r1, "counter")
+		f.Ld(8, r2, r1, 0)
+		f.Addi(r2, r2, 2)
+		f.St(8, r1, 0, r2)
+	}, func() {
+		f.Line(19)
+		f.LdConst64(r1, 0xdead0000)
+		f.Ldi(r2, 99)
+		f.St(8, r1, 0, r2) // wild store: unreachable without fault injection
+	})
+	f.Leave()
+
+	singleMicro(b, file, 0, func(f *gbuild.Func) {
+		f.Line(25)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "inc_a"})
+		omp.Taskwait(f)
+		f.Line(27)
+		omp.EmitTask(f, omp.TaskOpts{Fn: "try_b"})
+		omp.Taskwait(f)
+	})
+	emitLockMain(b, file, func(f *gbuild.Func) {
+		f.Line(5)
+		omp.MutexInit(f, "m")
+	})
+	return b
+}

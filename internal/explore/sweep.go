@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/gbuild"
 	"repro/internal/guest"
 	"repro/internal/harness"
@@ -41,6 +42,24 @@ type Opts struct {
 	// sweep-private in-memory cache (amortization on by default); pass an
 	// explicit cache to share with a daemon or a persistent tier.
 	TStore *tstore.Cache
+	// Inject is a fault-injection spec ("trylock=3,spurious=7") applied to
+	// every seed; each attempt gets a fresh injector so firing patterns are
+	// a pure function of (spec, InjectSeed), independent of sweep order.
+	Inject string
+	// InjectSeed phases the Inject firing patterns (0 = 1).
+	InjectSeed uint64
+}
+
+// injector builds the per-attempt injector from the sweep spec ("" = nil).
+func (o Opts) injector() (*faultinject.Injector, error) {
+	if o.Inject == "" {
+		return nil, nil
+	}
+	seed := o.InjectSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return faultinject.ParseSpec(o.Inject, seed)
 }
 
 // recording bundles one seed's observability attachments while it records.
@@ -162,9 +181,14 @@ func RunOpts(build func() *gbuild.Builder, tool string, threads, nseeds int, o O
 				return
 			}
 			rr := beginRecording(o, tool, threads, i+1, im)
+			in, err := o.injector()
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			inst, err := harness.New(harness.Setup{
 				Image: im, Tool: tl, Seed: uint64(i + 1), Threads: threads,
-				Engine: o.Engine, Obs: rr.hooks(), TStore: tc,
+				Engine: o.Engine, Obs: rr.hooks(), TStore: tc, Inject: in,
 			})
 			if err != nil {
 				errs[i] = err
@@ -208,6 +232,9 @@ func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseed
 	if _, _, err := toolreg.Make(tool); err != nil {
 		return Outcome{Tool: tool, Seeds: nseeds}, err
 	}
+	if _, err := o.injector(); err != nil {
+		return Outcome{Tool: tool, Seeds: nseeds}, err
+	}
 	tc := o.TStore
 	if tc == nil {
 		tc = tstore.NewCache("")
@@ -242,6 +269,9 @@ func RunSupervisedOpts(build func() *gbuild.Builder, tool string, threads, nseed
 					Image: im, Tool: tl, Seed: uint64(i + 1),
 					Threads: threads, Engine: o.Engine, TStore: tc,
 				}
+				// A fresh injector per attempt: replay/fallback attempts
+				// re-draw the identical firing pattern.
+				s.Inject, _ = o.injector()
 				if attempts == 0 {
 					s.Obs = rr.hooks()
 				}

@@ -37,11 +37,25 @@ const (
 	// naturally sidesteps the injected defect (the graceful-degradation
 	// acceptance path).
 	EnginePanic
+	// LockSpurious wakes a guest condvar waiter without a matching signal —
+	// the POSIX-permitted spurious wakeup. Correct guest code re-checks its
+	// predicate under the mutex and waits again; code that treats a wait
+	// return as a signal breaks.
+	LockSpurious
+	// LockDelay perturbs a mutex handoff: the released lock is handed to a
+	// different waiter than the seed-deterministic pick, modelling a delayed
+	// wakeup losing the race to another contender.
+	LockDelay
+	// TrylockFail makes a guest mutex trylock fail even when the lock is
+	// free — the "weak trylock" the POSIX spec allows and lock-free retry
+	// loops must tolerate.
+	TrylockFail
 	numKinds
 )
 
 // Kinds lists every kind (tests iterate it).
-var Kinds = []Kind{HeapAlloc, PoolAlloc, StealDeny, SchedPerturb, EnginePanic}
+var Kinds = []Kind{HeapAlloc, PoolAlloc, StealDeny, SchedPerturb, EnginePanic,
+	LockSpurious, LockDelay, TrylockFail}
 
 // String returns the spec name of the kind.
 func (k Kind) String() string {
@@ -56,6 +70,12 @@ func (k Kind) String() string {
 		return "sched"
 	case EnginePanic:
 		return "panic"
+	case LockSpurious:
+		return "spurious"
+	case LockDelay:
+		return "handoff"
+	case TrylockFail:
+		return "trylock"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -196,7 +216,7 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		}
 		kind, ok := kindFromName(strings.TrimSpace(name))
 		if !ok {
-			return nil, fmt.Errorf("faultinject: unknown kind %q (have heap, pool, steal, sched, panic)", name)
+			return nil, fmt.Errorf("faultinject: unknown kind %q (have heap, pool, steal, sched, panic, spurious, handoff, trylock)", name)
 		}
 		every, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
 		if err != nil || every == 0 {

@@ -170,10 +170,13 @@ func New(s Setup) (*Instance, error) {
 		}
 		toolID := s.ToolID
 		if toolID == "" {
-			if s.Tool != nil {
-				toolID = s.Tool.Name()
-			} else {
+			switch tl := s.Tool.(type) {
+			case nil:
 				toolID = "none"
+			case dbi.Identifier:
+				toolID = tl.ToolID()
+			default:
+				toolID = s.Tool.Name()
 			}
 		}
 		st := s.TStore.Open(tstore.Key{
@@ -201,6 +204,9 @@ func New(s Setup) (*Instance, error) {
 		inst.Lib.Heap.FailHook = func(uint64) bool { return in.Fire(faultinject.HeapAlloc) }
 		inst.OMP.Pool.FailHook = func(uint64) bool { return in.Fire(faultinject.PoolAlloc) }
 		inst.OMP.DenySteal = func() bool { return in.Fire(faultinject.StealDeny) }
+		inst.OMP.LockSpurious = func() bool { return in.Fire(faultinject.LockSpurious) }
+		inst.OMP.LockDelay = func() bool { return in.Fire(faultinject.LockDelay) }
+		inst.OMP.TrylockFail = func() bool { return in.Fire(faultinject.TrylockFail) }
 		m.Perturb = func() bool { return in.Fire(faultinject.SchedPerturb) }
 		// The compiled engine's injected-defect hook. The IR oracle never
 		// consults it, so -on-panic=fallback sidesteps the injected panic.
@@ -327,6 +333,13 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	reg.Counter("omp_steals_successful_total").Set(r.StealsSuccessful)
 	reg.Counter("omp_steals_denied_total").Set(r.StealsDenied)
 	reg.Counter("omp_alloc_failures_total").Set(r.AllocFailures)
+	reg.Counter("omp_mutex_acquires_total").Set(r.MutexAcquires)
+	reg.Counter("omp_mutex_contended_total").Set(r.MutexContended)
+	reg.Counter("omp_mutex_handoffs_total").Set(r.MutexHandoffs)
+	reg.Counter("omp_trylocks_failed_total").Set(r.TrylocksFailed)
+	reg.Counter("omp_cond_waits_total").Set(r.CondWaits)
+	reg.Counter("omp_cond_signals_total").Set(r.CondSignals)
+	reg.Counter("omp_cond_spurious_total").Set(r.CondSpurious)
 	reg.Counter("pool_allocs_total").Set(r.Pool.TotalAlloc)
 	reg.Counter("pool_frees_total").Set(r.Pool.TotalFree)
 

@@ -1,0 +1,179 @@
+package harness_test
+
+// Lock-handoff fault injection: the spurious-wakeup, delayed-handoff and
+// failed-trylock kinds must draw from the injector's per-kind streams
+// exactly like the older kinds — seed-deterministic firing, byte-identical
+// repeat runs, and decision-journal round trips — so every lock verdict
+// reached under injection replays.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/drb"
+	"repro/internal/faultinject"
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/omp"
+	"repro/internal/snapshot"
+)
+
+// contendedLockProgram: four sibling tasks each loop lockIters times over
+// one shared mutex-protected counter — enough traffic to guarantee
+// contended acquires (handoff-delay draws) at any seed.
+func contendedLockProgram() *gbuild.Builder {
+	const file = "contend.c"
+	const r1, r2, r3 = guest.R1, guest.R2, guest.R3
+	const lockIters = 8
+	b := omp.NewProgram()
+	b.Global("m", 8)
+	b.Global("counter", 8)
+	for i := 0; i < 4; i++ {
+		f := b.Func(fmt.Sprintf("worker%d", i), file)
+		f.Line(10 + i)
+		f.Enter(16)
+		f.Ldi(r3, 0)
+		f.StLocal(8, 8, r3)
+		loop := f.NewLabel()
+		f.Bind(loop)
+		omp.WithMutex(f, "m", func() {
+			f.LoadSym(r1, "counter")
+			f.Ld(8, r2, r1, 0)
+			f.Addi(r2, r2, 1)
+			f.St(8, r1, 0, r2)
+		})
+		f.LdLocal(8, r3, 8)
+		f.Addi(r3, r3, 1)
+		f.StLocal(8, 8, r3)
+		f.Ldi(r2, lockIters)
+		f.Blt(r3, r2, loop)
+		f.Leave()
+	}
+	f := b.Func("micro", file)
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		for i := 0; i < 4; i++ {
+			fn.Line(30 + i)
+			omp.EmitTask(fn, omp.TaskOpts{Fn: fmt.Sprintf("worker%d", i)})
+		}
+	})
+	f.Leave()
+	f = b.Func("main", file)
+	f.Enter(0)
+	f.Line(5)
+	omp.MutexInit(f, "m")
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+// lockScenario builds the named drb lock row.
+func lockScenario(t *testing.T, name string) func() *gbuild.Builder {
+	t.Helper()
+	b, ok := drb.ByName(name)
+	if !ok {
+		t.Fatalf("unknown lock scenario %q", name)
+	}
+	return b.Build
+}
+
+// TestLockFaultDeterminism: each lock fault kind is actually consulted on a
+// scenario that exercises its site, and two runs with the same (program,
+// seed, spec) are byte-identical — instructions retired, exit code, and the
+// injector's own fired/seen summary.
+func TestLockFaultDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *gbuild.Builder
+		spec  string
+		kind  faultinject.Kind
+	}{
+		{"spurious-condvar", lockScenario(t, "lock-104-condvar"), "spurious=2", faultinject.LockSpurious},
+		{"handoff-contended", contendedLockProgram, "handoff=2", faultinject.LockDelay},
+		{"trylock", lockScenario(t, "lock-105-trylock"), "trylock=1", faultinject.TrylockFail},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (uint64, uint64, string) {
+				in, err := faultinject.ParseSpec(tc.spec, 13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _, err := harness.BuildAndRun(tc.build(), harness.Setup{
+					Seed: 1, Threads: 4, Inject: in,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatalf("injected run failed: %v", res.Err)
+				}
+				if in.Seen(tc.kind) == 0 {
+					t.Fatalf("%s never consulted on %s", tc.kind, tc.name)
+				}
+				return res.GuestInstrs, res.ExitCode, in.Summary()
+			}
+			i1, e1, s1 := run()
+			i2, e2, s2 := run()
+			if i1 != i2 || e1 != e2 || s1 != s2 {
+				t.Fatalf("injected lock run diverged: (%d,%d,%q) vs (%d,%d,%q)",
+					i1, e1, s1, i2, e2, s2)
+			}
+		})
+	}
+}
+
+// TestLockFaultJournalRoundTrip: lock-fault decisions enter the decision
+// journal, and a verify-mode re-execution with the same spec replays the
+// recorded stream without divergence.
+func TestLockFaultJournalRoundTrip(t *testing.T) {
+	const spec = "spurious=2,handoff=2,trylock=1"
+	mkInjector := func() *faultinject.Injector {
+		in, err := faultinject.ParseSpec(spec, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	for _, sc := range []struct {
+		prog  string
+		build func() *gbuild.Builder
+		kind  faultinject.Kind
+	}{
+		{"lock-104-condvar", lockScenario(t, "lock-104-condvar"), faultinject.LockSpurious},
+		{"contended", contendedLockProgram, faultinject.LockDelay},
+		{"lock-105-trylock", lockScenario(t, "lock-105-trylock"), faultinject.TrylockFail},
+	} {
+		sc := sc
+		t.Run(sc.prog, func(t *testing.T) {
+			j := snapshot.NewJournal()
+			res, _, err := harness.BuildAndRun(sc.build(), harness.Setup{
+				Seed: 1, Threads: 4, Inject: mkInjector(), Journal: j,
+			})
+			if err != nil || res.Err != nil {
+				t.Fatalf("record run failed: %v / %v", err, res.Err)
+			}
+			if j.FireCount(int(sc.kind)) == 0 {
+				t.Fatalf("journal recorded no %s decisions", sc.kind)
+			}
+			v := j.Verifier(false)
+			res2, _, err := harness.BuildAndRun(sc.build(), harness.Setup{
+				Seed: 1, Threads: 4, Inject: mkInjector(), Journal: v,
+			})
+			if err != nil || res2.Err != nil {
+				t.Fatalf("verify run failed: %v / %v", err, res2.Err)
+			}
+			if d := v.Err(); d != nil {
+				t.Fatalf("verify diverged from recording: %v", d)
+			}
+			if res.GuestInstrs != res2.GuestInstrs {
+				t.Fatalf("replay retired %d instrs, recording %d", res2.GuestInstrs, res.GuestInstrs)
+			}
+		})
+	}
+}

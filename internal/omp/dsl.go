@@ -223,6 +223,79 @@ func Critical(f *gbuild.Func, lockID int32, body func()) {
 	f.Call("__kmpc_end_critical")
 }
 
+// MutexInit emits creation of a guest mutex, storing its handle into the
+// global sym. Call it from serial code (or inside a single) before the
+// threads that contend on it start — the fork edge orders the handle
+// publication.
+func MutexInit(f *gbuild.Func, sym string) {
+	f.Call("__kmpc_mutex_init")
+	f.LoadSym(guest.R1, sym)
+	f.St(8, guest.R1, 0, guest.R0)
+}
+
+// loadHandle loads the lock handle stored in global sym into dst.
+func loadHandle(f *gbuild.Func, sym string, dst uint8) {
+	f.LoadSym(dst, sym)
+	f.Ld(8, dst, dst, 0)
+}
+
+// WithMutex emits lock(sym); body; unlock(sym).
+func WithMutex(f *gbuild.Func, sym string, body func()) {
+	loadHandle(f, sym, guest.R0)
+	f.Call("__kmpc_mutex_lock")
+	body()
+	loadHandle(f, sym, guest.R0)
+	f.Call("__kmpc_mutex_unlock")
+}
+
+// TryMutex emits `if (trylock(sym)) { body; unlock } else { elseBody }`.
+// elseBody may be nil.
+func TryMutex(f *gbuild.Func, sym string, body, elseBody func()) {
+	loadHandle(f, sym, guest.R0)
+	f.Call("__kmpc_mutex_trylock")
+	busy := f.NewLabel()
+	done := f.NewLabel()
+	f.Ldi(guest.R1, 0)
+	f.Beq(guest.R0, guest.R1, busy)
+	body()
+	loadHandle(f, sym, guest.R0)
+	f.Call("__kmpc_mutex_unlock")
+	f.Jmp(done)
+	f.Bind(busy)
+	if elseBody != nil {
+		elseBody()
+	}
+	f.Bind(done)
+}
+
+// CondInit emits creation of a guest condvar, storing its handle into sym.
+func CondInit(f *gbuild.Func, sym string) {
+	f.Call("__kmpc_cond_init")
+	f.LoadSym(guest.R1, sym)
+	f.St(8, guest.R1, 0, guest.R0)
+}
+
+// CondWait emits wait(condSym, mutexSym): the caller must hold the mutex;
+// it is released during the wait and reacquired before control returns.
+// Callers must re-check their predicate in a loop (spurious wakeups).
+func CondWait(f *gbuild.Func, condSym, mutexSym string) {
+	loadHandle(f, condSym, guest.R0)
+	loadHandle(f, mutexSym, guest.R1)
+	f.Call("__kmpc_cond_wait")
+}
+
+// CondSignal emits signal(condSym).
+func CondSignal(f *gbuild.Func, condSym string) {
+	loadHandle(f, condSym, guest.R0)
+	f.Call("__kmpc_cond_signal")
+}
+
+// CondBroadcast emits broadcast(condSym).
+func CondBroadcast(f *gbuild.Func, condSym string) {
+	loadHandle(f, condSym, guest.R0)
+	f.Call("__kmpc_cond_broadcast")
+}
+
 // AssumeDeferrable emits the §V-B client-request annotation telling
 // Taskgrind that subsequently created tasks are semantically deferrable.
 func AssumeDeferrable(f *gbuild.Func, on bool) {

@@ -148,6 +148,81 @@ func EmitPrelude(b *gbuild.Builder) {
 	f.Hcall("__kmp_critical_exit")
 	f.Ret()
 
+	// Guest-level mutexes and condvars. The descriptors live in guest
+	// memory (fast pool), and every wrapper loads the lock/generation word
+	// before its host call — genuine tool-visible accesses to runtime
+	// internals, the §IV-A pitfall the ignore-list exists for. State
+	// *mutation* stays in the host calls: a guest-side release store would
+	// open a window where another thread's host call sees stale ownership.
+
+	// __kmpc_mutex_init() -> handle (0 on pool exhaustion).
+	f = b.Func("__kmpc_mutex_init", file)
+	f.Hcall("__kmp_mutex_init")
+	f.Ret()
+
+	// __kmpc_mutex_lock(handle): spin-read the lock word, attempt via the
+	// host call, retry after every wakeup (another contender may have
+	// barged in — the schedule-dependent handoff).
+	f = b.Func("__kmpc_mutex_lock", file)
+	f.Enter(16)
+	f.StLocal(8, 8, guest.R0)
+	mlRetry := f.NewLabel()
+	f.Bind(mlRetry)
+	f.LdLocal(8, guest.R0, 8)
+	f.Ld(8, guest.R9, guest.R0, 0) // tool-visible read of the lock word
+	f.Hcall("__kmp_mutex_lock")    // 1 acquired, 0 retry
+	f.Ldi(guest.R1, 0)
+	f.Beq(guest.R0, guest.R1, mlRetry)
+	f.Leave()
+
+	// __kmpc_mutex_trylock(handle) -> 1 acquired, 0 busy.
+	f = b.Func("__kmpc_mutex_trylock", file)
+	f.Ld(8, guest.R9, guest.R0, 0)
+	f.Hcall("__kmp_mutex_trylock")
+	f.Ret()
+
+	// __kmpc_mutex_unlock(handle).
+	f = b.Func("__kmpc_mutex_unlock", file)
+	f.Ld(8, guest.R9, guest.R0, 0)
+	f.Hcall("__kmp_mutex_unlock")
+	f.Ret()
+
+	// __kmpc_cond_init() -> handle (0 on pool exhaustion).
+	f = b.Func("__kmpc_cond_init", file)
+	f.Hcall("__kmp_cond_init")
+	f.Ret()
+
+	// __kmpc_cond_wait(cond, mutex): release the mutex and wait for a
+	// signal (the host call blocks; 0 means keep polling), then reacquire
+	// the mutex. Callers re-check their predicate — spurious wakeups are
+	// allowed, and the fault injector provokes them.
+	f = b.Func("__kmpc_cond_wait", file)
+	f.Enter(24)
+	f.StLocal(8, 8, guest.R0)
+	f.StLocal(8, 16, guest.R1)
+	cwPoll := f.NewLabel()
+	f.Bind(cwPoll)
+	f.LdLocal(8, guest.R0, 8)
+	f.LdLocal(8, guest.R1, 16)
+	f.Ld(8, guest.R9, guest.R0, 0) // tool-visible read of the generation word
+	f.Hcall("__kmp_cond_wait")     // 1 woken, 0 keep waiting
+	f.Ldi(guest.R1, 0)
+	f.Beq(guest.R0, guest.R1, cwPoll)
+	f.LdLocal(8, guest.R0, 16)
+	f.Call("__kmpc_mutex_lock")
+	f.Leave()
+
+	// __kmpc_cond_signal(cond) / __kmpc_cond_broadcast(cond).
+	f = b.Func("__kmpc_cond_signal", file)
+	f.Ld(8, guest.R9, guest.R0, 0)
+	f.Hcall("__kmp_cond_signal")
+	f.Ret()
+
+	f = b.Func("__kmpc_cond_broadcast", file)
+	f.Ld(8, guest.R9, guest.R0, 0)
+	f.Hcall("__kmp_cond_broadcast")
+	f.Ret()
+
 	// omp_get_thread_num / omp_get_num_threads / omp_fulfill_event.
 	f = b.Func("omp_get_thread_num", file)
 	f.Hcall("__kmp_get_thread_num")

@@ -150,6 +150,8 @@ type ThreadState struct {
 	singleSeq uint64
 	// pendingRegion is set by fork for parked workers.
 	pendingRegion *Region
+	// condState tracks the guest condvar wait protocol (locks.go).
+	condState uint8
 	// teamStack saves the enclosing team context across nested regions.
 	teamStack []teamSnap
 }
@@ -179,6 +181,8 @@ type Runtime struct {
 
 	critOwner  map[uint64]*ThreadState
 	critQueue  map[uint64][]*ThreadState
+	mutexQueue map[uint64][]*ThreadState
+	condQueue  map[uint64][]*ThreadState
 	tasksByID  map[uint64]*Task
 	regions    map[uint64]*Region
 	workerAddr uint64 // guest entry of __kmp_worker_entry
@@ -188,6 +192,15 @@ type Runtime struct {
 	// DenySteal, when set, is consulted on every steal attempt; returning
 	// true makes the attempt fail (fault injection: a contended victim).
 	DenySteal func() bool
+	// TrylockFail, when set, makes a mutex trylock fail even when the lock
+	// is free (fault injection: the POSIX weak trylock).
+	TrylockFail func() bool
+	// LockDelay, when set, rotates a mutex handoff to a different waiter
+	// than the seed-deterministic pick (fault injection: delayed wakeup).
+	LockDelay func() bool
+	// LockSpurious, when set, turns a condvar wait into a spurious wakeup
+	// (fault injection: return without a matching signal).
+	LockSpurious func() bool
 
 	// Stats.
 	TasksCreated     uint64
@@ -199,6 +212,14 @@ type Runtime struct {
 	// AllocFailures counts NULL returns from the fast pool (exhaustion or
 	// injected failure) surfaced to the guest.
 	AllocFailures uint64
+	// Lock substrate stats (locks.go).
+	MutexAcquires  uint64
+	MutexContended uint64
+	MutexHandoffs  uint64
+	TrylocksFailed uint64
+	CondWaits      uint64
+	CondSignals    uint64
+	CondSpurious   uint64
 
 	// Obs carries the optional observability hooks; nil when disabled.
 	Obs *obs.Hooks
@@ -218,6 +239,8 @@ func NewRuntime() *Runtime {
 		MaxThreads: 4,
 		critOwner:  make(map[uint64]*ThreadState),
 		critQueue:  make(map[uint64][]*ThreadState),
+		mutexQueue: make(map[uint64][]*ThreadState),
+		condQueue:  make(map[uint64][]*ThreadState),
 		tasksByID:  make(map[uint64]*Task),
 		regions:    make(map[uint64]*Region),
 	}
@@ -320,6 +343,14 @@ func (r *Runtime) Install(reg *vm.HostRegistry) {
 	reg.Register("__kmp_single_enter", r.hSingleEnter)
 	reg.Register("__kmp_critical_enter", r.hCriticalEnter)
 	reg.Register("__kmp_critical_exit", r.hCriticalExit)
+	reg.Register("__kmp_mutex_init", r.hMutexInit)
+	reg.Register("__kmp_mutex_lock", r.hMutexLock)
+	reg.Register("__kmp_mutex_trylock", r.hMutexTrylock)
+	reg.Register("__kmp_mutex_unlock", r.hMutexUnlock)
+	reg.Register("__kmp_cond_init", r.hCondInit)
+	reg.Register("__kmp_cond_wait", r.hCondWait)
+	reg.Register("__kmp_cond_signal", r.hCondSignal)
+	reg.Register("__kmp_cond_broadcast", r.hCondBroadcast)
 	reg.Register("__kmp_get_thread_num", r.hGetThreadNum)
 	reg.Register("__kmp_get_num_threads", r.hGetNumThreads)
 	reg.Register("__kmp_fulfill_event", r.hFulfillEvent)

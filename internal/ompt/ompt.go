@@ -70,6 +70,20 @@ const (
 	// release happens-before segments after a matching acquire.
 	CRRelease
 	CRAcquire
+	// CRMutexAcquire / CRMutexRelease: args[0]=guest address of the mutex
+	// descriptor. Guest-level mutexes (omp_mutex_*): the descriptor lives in
+	// guest memory like the task deques, so the lock word itself is a
+	// tool-visible location.
+	CRMutexAcquire
+	CRMutexRelease
+	// CRCondWait: args[0]=condvar guest address, args[1]=mutex guest
+	// address — raised on the waiter when it returns from a signalled wait
+	// (the happens-before acquire side). Spurious wakeups do not raise it.
+	CRCondWait
+	// CRCondSignal / CRCondBroadcast: args[0]=condvar guest address — the
+	// happens-before release side.
+	CRCondSignal
+	CRCondBroadcast
 )
 
 // Task flag bits (CRTaskCreate args[2]).
@@ -135,6 +149,11 @@ type Events interface {
 	BarrierEnd(t *vm.Thread, regionID, gen uint64)
 	CriticalAcquire(t *vm.Thread, lockID uint64)
 	CriticalRelease(t *vm.Thread, lockID uint64)
+	MutexAcquire(t *vm.Thread, addr uint64)
+	MutexRelease(t *vm.Thread, addr uint64)
+	CondWait(t *vm.Thread, cond, mutex uint64)
+	CondSignal(t *vm.Thread, cond uint64)
+	CondBroadcast(t *vm.Thread, cond uint64)
 	Release(t *vm.Thread, token uint64)
 	Acquire(t *vm.Thread, token uint64)
 }
@@ -195,6 +214,21 @@ func (NopEvents) CriticalAcquire(*vm.Thread, uint64) {}
 
 // CriticalRelease implements Events.
 func (NopEvents) CriticalRelease(*vm.Thread, uint64) {}
+
+// MutexAcquire implements Events.
+func (NopEvents) MutexAcquire(*vm.Thread, uint64) {}
+
+// MutexRelease implements Events.
+func (NopEvents) MutexRelease(*vm.Thread, uint64) {}
+
+// CondWait implements Events.
+func (NopEvents) CondWait(*vm.Thread, uint64, uint64) {}
+
+// CondSignal implements Events.
+func (NopEvents) CondSignal(*vm.Thread, uint64) {}
+
+// CondBroadcast implements Events.
+func (NopEvents) CondBroadcast(*vm.Thread, uint64) {}
 
 // Release implements Events.
 func (NopEvents) Release(*vm.Thread, uint64) {}
@@ -298,6 +332,21 @@ func (b *Bridge) CriticalAcquire(t *vm.Thread, lockID uint64) {
 func (b *Bridge) CriticalRelease(t *vm.Thread, lockID uint64) {
 	b.req(t, CRCriticalRelease, lockID)
 }
+
+// MutexAcquire implements Events.
+func (b *Bridge) MutexAcquire(t *vm.Thread, addr uint64) { b.req(t, CRMutexAcquire, addr) }
+
+// MutexRelease implements Events.
+func (b *Bridge) MutexRelease(t *vm.Thread, addr uint64) { b.req(t, CRMutexRelease, addr) }
+
+// CondWait implements Events.
+func (b *Bridge) CondWait(t *vm.Thread, cond, mutex uint64) { b.req(t, CRCondWait, cond, mutex) }
+
+// CondSignal implements Events.
+func (b *Bridge) CondSignal(t *vm.Thread, cond uint64) { b.req(t, CRCondSignal, cond) }
+
+// CondBroadcast implements Events.
+func (b *Bridge) CondBroadcast(t *vm.Thread, cond uint64) { b.req(t, CRCondBroadcast, cond) }
 
 // Release implements Events.
 func (b *Bridge) Release(t *vm.Thread, token uint64) { b.req(t, CRRelease, token) }

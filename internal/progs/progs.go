@@ -25,6 +25,8 @@ func Build(name string, lp lulesh.Params) (*gbuild.Builder, error) {
 		return lulesh.Build(lp)
 	case "task.c":
 		return Listing4(), nil
+	case "task.c-critical":
+		return Listing4Critical(), nil
 	case "wildstore":
 		return Wildstore(), nil
 	}
@@ -37,8 +39,11 @@ func Build(name string, lp lulesh.Params) (*gbuild.Builder, error) {
 // Names enumerates the built-in program names, specials first, in the
 // order `taskgrind -list` prints them.
 func Names() []string {
-	names := []string{"task.c", "lulesh", "wildstore"}
+	names := []string{"task.c", "task.c-critical", "lulesh", "wildstore"}
 	for _, b := range drb.All() {
+		names = append(names, b.Name)
+	}
+	for _, b := range drb.LockSuite() {
 		names = append(names, b.Name)
 	}
 	return names
@@ -78,6 +83,56 @@ func Listing4() *gbuild.Builder {
 	f.Leave()
 
 	f = b.Func("main", "task.c")
+	f.Enter(0)
+	f.Line(3)
+	f.Ldi(r0, 8)
+	f.Hcall("malloc")
+	f.LoadSym(r1, "xptr")
+	f.St(8, r1, 0, r0)
+	f.Line(4)
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(r0, 0)
+	f.Hlt(r0)
+	return b
+}
+
+// Listing4Critical is Listing 4 with both task bodies wrapped in the same
+// named critical section: the writes to *xptr are mutually exclusive, so no
+// lockset tool reports — but which value x ends with still depends on the
+// schedule, so Taskgrind (deliberately, §VI) keeps reporting the pair.
+func Listing4Critical() *gbuild.Builder {
+	b := omp.NewProgram()
+	b.Global("xptr", 8)
+	const r0, r1, r2 = guest.R0, guest.R1, guest.R2
+
+	task := func(name string, line int, val int32) {
+		f := b.Func(name, "taskcrit.c")
+		f.Line(line)
+		f.Enter(0)
+		omp.Critical(f, 1, func() {
+			f.LoadSym(r1, "xptr")
+			f.Ld(8, r1, r1, 0)
+			f.Ldi(r2, val)
+			f.St(4, r1, 0, r2)
+		})
+		f.Leave()
+	}
+	task("task_a", 8, 42)
+	task("task_b", 12, 43)
+
+	f := b.Func("micro", "taskcrit.c")
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		fn.Line(8)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_a"})
+		fn.Line(12)
+		omp.EmitTask(fn, omp.TaskOpts{Fn: "task_b"})
+	})
+	f.Leave()
+
+	f = b.Func("main", "taskcrit.c")
 	f.Enter(0)
 	f.Line(3)
 	f.Ldi(r0, 8)

@@ -369,10 +369,14 @@ func (a *Archer) ClientRequest(t *vm.Thread, code int32, args [6]uint64) uint64 
 		for _, v := range a.barVC[k] {
 			a.vc(t).acquire(v)
 		}
-	case ompt.CRCriticalAcquire:
+	case ompt.CRCriticalAcquire, ompt.CRMutexAcquire:
 		a.vc(t).acquire(a.lockVC[args[0]])
-	case ompt.CRCriticalRelease:
+	case ompt.CRCriticalRelease, ompt.CRMutexRelease:
 		a.lockVC[args[0]] = a.release(t)
+	case ompt.CRCondSignal, ompt.CRCondBroadcast:
+		a.lockVC[^args[0]] = a.release(t)
+	case ompt.CRCondWait:
+		a.vc(t).acquire(a.lockVC[^args[0]])
 	case ompt.CRRelease:
 		a.lockVC[^args[0]] = a.release(t)
 	case ompt.CRAcquire:

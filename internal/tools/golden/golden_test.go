@@ -15,16 +15,14 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/dbi"
 	"repro/internal/drb"
 	"repro/internal/gbuild"
 	"repro/internal/guest"
 	"repro/internal/harness"
+	"repro/internal/lulesh"
 	"repro/internal/omp"
-	"repro/internal/tools/archer"
-	"repro/internal/tools/memcheck"
-	"repro/internal/tools/romp"
+	"repro/internal/progs"
 	"repro/internal/tools/toolreg"
 )
 
@@ -106,35 +104,27 @@ func goldenPrograms(t *testing.T) []struct {
 	return progs
 }
 
-// render mirrors cmd/taskgrind's report-printing switch: the same bytes the
-// user sees on stdout.
+// render is cmd/taskgrind's report-printing switch (toolreg.Render): the
+// same bytes the user sees on stdout.
 func render(t *testing.T, tool dbi.Tool) string {
 	t.Helper()
-	switch tt := tool.(type) {
-	case *core.Taskgrind:
-		if tt.Opt.IgnoreMutexinoutsetDeps { // the ROMP configuration
-			return romp.Format(&tt.Reports)
-		}
-		return tt.Reports.String()
-	case *archer.Archer:
-		return tt.String()
-	case *memcheck.Memcheck:
-		return tt.String()
+	text, ok := toolreg.Render(tool)
+	if !ok {
+		t.Fatalf("no renderer for tool %T", tool)
 	}
-	t.Fatalf("no renderer for tool %T", tool)
-	return ""
+	return text
 }
 
 // runTool executes prog under the named tool with the given delivery mode
-// and returns the rendered report.
-func runTool(t *testing.T, mk func() *gbuild.Builder, toolName string, d dbi.Delivery) string {
+// and engine, and returns the rendered report.
+func runTool(t *testing.T, mk func() *gbuild.Builder, toolName string, d dbi.Delivery, engine string) string {
 	t.Helper()
 	tool, _, err := toolreg.Make(toolName)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _, err := harness.BuildAndRun(mk(), harness.Setup{
-		Tool: tool, Seed: 1, Threads: 4, Stdout: io.Discard, Delivery: d,
+		Tool: tool, Seed: 1, Threads: 4, Stdout: io.Discard, Delivery: d, Engine: engine,
 	})
 	if err != nil {
 		t.Fatalf("%s: %v", toolName, err)
@@ -156,7 +146,7 @@ func TestGoldenReports(t *testing.T) {
 		for _, toolName := range tools {
 			toolName := toolName
 			t.Run(toolName+"/"+p.name, func(t *testing.T) {
-				got := runTool(t, p.mk, toolName, dbi.DeliverBatched)
+				got := runTool(t, p.mk, toolName, dbi.DeliverBatched, "")
 				path := filepath.Join("testdata", toolName+"__"+p.name+".golden")
 				if *update {
 					if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -174,11 +164,106 @@ func TestGoldenReports(t *testing.T) {
 					t.Errorf("batched output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
 						path, want, got)
 				}
-				if pe := runTool(t, p.mk, toolName, dbi.DeliverPerEvent); pe != string(want) {
+				if pe := runTool(t, p.mk, toolName, dbi.DeliverPerEvent, ""); pe != string(want) {
 					t.Errorf("per-event output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
 						path, want, pe)
 				}
 			})
 		}
+	}
+}
+
+// lockPrograms is the lock-scenario example set: Listing 4 with its task
+// bodies in a critical section plus every row of the drb lock suite.
+func lockPrograms(t *testing.T) []struct {
+	name string
+	mk   func() *gbuild.Builder
+} {
+	t.Helper()
+	out := []struct {
+		name string
+		mk   func() *gbuild.Builder
+	}{{"task.c-critical", progs.Listing4Critical}}
+	for _, b := range drb.LockSuite() {
+		if b.Name == "lock-106-trylock-crash" {
+			continue // only meaningful under fault injection; covered by the explore sweep test
+		}
+		out = append(out, struct {
+			name string
+			mk   func() *gbuild.Builder
+		}{b.Name, b.Build})
+	}
+	return out
+}
+
+// engineSelectable reports whether the named tool runs under both execution
+// engines. tasksan, romp and archer pin CompileTime instrumentation, so the
+// engine dimension does not exist for them (SelectEngine rejects overrides).
+func engineSelectable(toolName string) bool {
+	switch toolName {
+	case "tasksan", "romp", "archer":
+		return false
+	}
+	return true
+}
+
+// TestGoldenLockReports locks all six tools' rendered output on the lock
+// scenarios. Each golden is recorded from the batched/default-engine run;
+// the per-event delivery path and (where the tool supports engine
+// selection) both execution engines must reproduce it byte-for-byte, so a
+// lock-handoff or seggraph change that perturbs any tool's verdict on a
+// lock program fails loudly.
+func TestGoldenLockReports(t *testing.T) {
+	tools := []string{"taskgrind", "tasksan", "romp", "archer", "memcheck", "lockgrind"}
+	for _, p := range lockPrograms(t) {
+		p := p
+		for _, toolName := range tools {
+			toolName := toolName
+			t.Run(toolName+"/"+p.name, func(t *testing.T) {
+				got := runTool(t, p.mk, toolName, dbi.DeliverBatched, "")
+				path := filepath.Join("testdata", toolName+"__"+p.name+".golden")
+				if *update {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to record): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("batched output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
+						path, want, got)
+				}
+				if pe := runTool(t, p.mk, toolName, dbi.DeliverPerEvent, ""); pe != string(want) {
+					t.Errorf("per-event output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
+						path, want, pe)
+				}
+				if !engineSelectable(toolName) {
+					return
+				}
+				for _, eng := range []string{"ir", "compiled"} {
+					if ee := runTool(t, p.mk, toolName, dbi.DeliverBatched, eng); ee != string(want) {
+						t.Errorf("engine=%s output diverges from golden %s:\n--- want ---\n%s--- got ---\n%s",
+							eng, path, want, ee)
+					}
+				}
+			})
+		}
+	}
+}
+
+// mkProg adapts a progs registry name to a builder thunk.
+func mkProg(t *testing.T, name string) func() *gbuild.Builder {
+	t.Helper()
+	return func() *gbuild.Builder {
+		b, err := progs.Build(name, lulesh.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
 	}
 }

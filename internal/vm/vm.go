@@ -451,6 +451,12 @@ func (m *Machine) ExitCode() uint64 { return m.exitCode }
 // Exited reports whether the program has terminated.
 func (m *Machine) Exited() bool { return m.exited }
 
+// SchedRand draws the next value from the scheduler PRNG. Host-call sites
+// that need a seed-deterministic choice (mutex handoff, condvar signal
+// targets) share the stream with the thread picker, so the whole schedule —
+// including lock handoff order — stays a pure function of (program, seed).
+func (m *Machine) SchedRand() uint64 { return m.rand() }
+
 // rand returns the next PRNG value (xorshift64*).
 func (m *Machine) rand() uint64 {
 	x := m.rng

@@ -1,0 +1,254 @@
+package repro
+
+// Guest-level lock benchmarks and scheduler-perturbation gates. The lock
+// subsystem's perf contract has two sides:
+//
+//   - Lock-free programs pay nothing: the scheduler draws wakeup
+//     randomness only when a mutex actually has more than one waiter, so
+//     the PRNG stream — and with it every seed-addressed schedule — is
+//     bit-identical to the pre-lock substrate on programs that never lock.
+//     TestLockSchedulerUnperturbed pins that, plus the solo fast path.
+//   - Contended handoffs are deterministic: the same seed produces the
+//     same acquire/handoff/preemption counts run after run and engine to
+//     engine, so every lock verdict replays.
+//
+// BenchmarkLockContention measures the cost side — contended vs
+// uncontended acquire throughput on a hot mutex loop — and records it as
+// the "locks" section of $PERF_BENCH_OUT (`make bench-perf`).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/gbuild"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/lulesh"
+	"repro/internal/omp"
+	"repro/internal/progs"
+)
+
+// lockLoopProgram builds `tasks` sibling tasks, each looping `iters` times
+// over a mutex-protected counter increment. With contended=true every task
+// hammers ONE mutex and one counter; otherwise each task gets its own
+// mutex and counter (acquire-path cost without any handoffs).
+func lockLoopProgram(tasks, iters int, contended bool) *gbuild.Builder {
+	const file = "lockloop.c"
+	const r1, r2, r3 = guest.R1, guest.R2, guest.R3
+	b := omp.NewProgram()
+	mutexOf := func(i int) string { return fmt.Sprintf("m%d", i) }
+	counterOf := func(i int) string { return fmt.Sprintf("counter%d", i) }
+	if contended {
+		mutexOf = func(int) string { return "m" }
+		counterOf = func(int) string { return "counter" }
+		b.Global("m", 8)
+		b.Global("counter", 8)
+	} else {
+		for i := 0; i < tasks; i++ {
+			b.Global(mutexOf(i), 8)
+			b.Global(counterOf(i), 8)
+		}
+	}
+
+	for i := 0; i < tasks; i++ {
+		f := b.Func(fmt.Sprintf("worker%d", i), file)
+		f.Line(10 + i)
+		f.Enter(16)
+		f.Ldi(r3, 0)
+		f.StLocal(8, 8, r3)
+		loop := f.NewLabel()
+		f.Bind(loop)
+		omp.WithMutex(f, mutexOf(i), func() {
+			f.LoadSym(r1, counterOf(i))
+			f.Ld(8, r2, r1, 0)
+			f.Addi(r2, r2, 1)
+			f.St(8, r1, 0, r2)
+		})
+		f.LdLocal(8, r3, 8)
+		f.Addi(r3, r3, 1)
+		f.StLocal(8, 8, r3)
+		f.Ldi(r2, int32(iters))
+		f.Blt(r3, r2, loop)
+		f.Leave()
+	}
+
+	f := b.Func("micro", file)
+	f.Enter(0)
+	fn := f
+	omp.SingleNowait(f, func() {
+		for i := 0; i < tasks; i++ {
+			fn.Line(30 + i)
+			omp.EmitTask(fn, omp.TaskOpts{Fn: fmt.Sprintf("worker%d", i)})
+		}
+	})
+	f.Leave()
+
+	f = b.Func("main", file)
+	f.Enter(0)
+	f.Line(5)
+	if contended {
+		omp.MutexInit(f, "m")
+	} else {
+		for i := 0; i < tasks; i++ {
+			omp.MutexInit(f, mutexOf(i))
+		}
+	}
+	f.Ldi(r1, 0)
+	omp.Parallel(f, "micro", r1, 0)
+	f.Ldi(guest.R0, 0)
+	f.Hlt(guest.R0)
+	return b
+}
+
+// schedCounts is the scheduler fingerprint of one run.
+type schedCounts struct {
+	slices, preemptions, switches uint64
+	acquires, handoffs            uint64
+}
+
+// runSched executes prog and returns its scheduler fingerprint.
+func runSched(t *testing.T, prog string, seed uint64, threads int, engine string) schedCounts {
+	t.Helper()
+	b, err := progs.Build(prog, lulesh.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, inst, err := harness.BuildAndRun(b, harness.Setup{
+		Seed: seed, Threads: threads, Stdout: io.Discard, Engine: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s: %v", prog, res.Err)
+	}
+	return schedCounts{
+		slices: inst.M.Slices, preemptions: inst.M.Preemptions, switches: inst.M.Switches,
+		acquires: inst.OMP.MutexAcquires, handoffs: inst.OMP.MutexHandoffs,
+	}
+}
+
+// TestLockSchedulerUnperturbed pins the lock subsystem's scheduler
+// contract: the solo fast path stays preemption-free, lock-free programs
+// never touch the mutex runtime (so their seed-addressed schedules are
+// untouched by lock-subsystem changes), and contended handoff schedules
+// are deterministic across repeated runs and across engines.
+func TestLockSchedulerUnperturbed(t *testing.T) {
+	// Solo fast path: one runnable thread never preempts.
+	if c := runSched(t, "task.c", 1, 1, ""); c.preemptions != 0 {
+		t.Errorf("solo run preempted %d times, want 0", c.preemptions)
+	}
+
+	// Lock-free program: zero mutex traffic, and a bit-stable schedule —
+	// identical counts run to run and engine to engine.
+	ref := runSched(t, "task.c", 1, 4, "")
+	if ref.acquires != 0 {
+		t.Errorf("lock-free program performed %d mutex acquires", ref.acquires)
+	}
+	for _, eng := range []string{"", "ir", "compiled"} {
+		if c := runSched(t, "task.c", 1, 4, eng); c != ref {
+			t.Errorf("lock-free schedule perturbed (engine %q): %+v vs %+v", eng, c, ref)
+		}
+	}
+
+	// Contended program: locks actually exercised, and the handoff
+	// schedule is just as deterministic.
+	lref := runSched(t, "lock-100-mutex-counter", 1, 4, "")
+	if lref.acquires == 0 {
+		t.Fatal("lock-100-mutex-counter performed no mutex acquires")
+	}
+	for _, eng := range []string{"", "ir", "compiled"} {
+		if c := runSched(t, "lock-100-mutex-counter", 1, 4, eng); c != lref {
+			t.Errorf("contended schedule nondeterministic (engine %q): %+v vs %+v", eng, c, lref)
+		}
+	}
+}
+
+// lockArm is one measured configuration of BenchmarkLockContention.
+type lockArm struct {
+	Name  string `json:"name"`
+	Tasks int    `json:"tasks"`
+	Iters int    `json:"iters"`
+
+	Acquires       uint64  `json:"acquires"`
+	Contended      uint64  `json:"contended"`
+	Handoffs       uint64  `json:"handoffs"`
+	Preemptions    uint64  `json:"preemptions"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	AcquiresPerSec float64 `json:"acquires_per_sec"`
+	NsPerAcquire   float64 `json:"ns_per_acquire"`
+}
+
+// BenchmarkLockContention measures guest mutex acquire throughput on a hot
+// locked-increment loop, contended (4 tasks, one mutex) against
+// uncontended (4 tasks, private mutexes). The delta is the price of
+// blocking, wakeup-order draws and handoff scheduling. `make bench-perf`
+// records the comparison as the "locks" section of BENCH_perf.json.
+func BenchmarkLockContention(b *testing.B) {
+	const tasks, iters = 4, 64
+	arms := []*lockArm{
+		{Name: "contended", Tasks: tasks, Iters: iters},
+		{Name: "uncontended", Tasks: tasks, Iters: iters},
+	}
+	done := 0
+	for _, arm := range arms {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst, err := harness.New(harness.Setup{
+					Image: mustLink(b, lockLoopProgram(tasks, iters, arm.Name == "contended")),
+					Seed:  1, Threads: tasks, Stdout: io.Discard,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := inst.Run()
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				arm.Acquires += inst.OMP.MutexAcquires
+				arm.Contended += inst.OMP.MutexContended
+				arm.Handoffs += inst.OMP.MutexHandoffs
+				arm.Preemptions += inst.M.Preemptions
+				arm.WallSeconds += res.Wall.Seconds()
+			}
+			arm.AcquiresPerSec = float64(arm.Acquires) / arm.WallSeconds
+			arm.NsPerAcquire = arm.WallSeconds * 1e9 / float64(arm.Acquires)
+			b.ReportMetric(arm.AcquiresPerSec, "acquires/sec")
+			b.ReportMetric(arm.NsPerAcquire, "ns/acquire")
+			done++
+		})
+	}
+	if done < len(arms) {
+		return // partial -bench filter: nothing comparable to record
+	}
+	writePerfSection(b, "locks", struct {
+		Workload  string     `json:"workload"`
+		Threads   int        `json:"threads"`
+		Seed      uint64     `json:"seed"`
+		Criterion string     `json:"criterion"`
+		Timestamp string     `json:"timestamp"`
+		Arms      []*lockArm `json:"arms"`
+	}{
+		Workload: fmt.Sprintf("%d tasks x %d locked increments", tasks, iters),
+		Threads:  tasks, Seed: 1,
+		Criterion: "ns_per_acquire contended vs uncontended bounds the cost of " +
+			"blocking, seed-deterministic wakeup draws and handoff " +
+			"scheduling; lock-free scheduler neutrality is gated " +
+			"separately by TestLockSchedulerUnperturbed.",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Arms:      arms,
+	})
+}
+
+// mustLink links a builder or fails the benchmark.
+func mustLink(b *testing.B, bb *gbuild.Builder) *guest.Image {
+	b.Helper()
+	im, err := bb.Link()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return im
+}

@@ -423,9 +423,10 @@ func TestWarmStoreE2ERegression(t *testing.T) {
 // perfSections are the top-level keys of $PERF_BENCH_OUT. The file is shared
 // by BenchmarkPerfEngines ("engines"), BenchmarkToolDelivery
 // ("tool_delivery"), BenchmarkRobustness ("robustness"), BenchmarkRecording
-// ("recording") and BenchmarkServe ("serve"); each benchmark rewrites only
-// its own section so they can be (re)recorded independently.
-var perfSections = []string{"engines", "tool_delivery", "robustness", "recording", "serve"}
+// ("recording"), BenchmarkServe ("serve") and BenchmarkLockContention
+// ("locks"); each benchmark rewrites only its own section so they can be
+// (re)recorded independently.
+var perfSections = []string{"engines", "tool_delivery", "robustness", "recording", "serve", "locks"}
 
 // writePerfSection read-modify-writes one section of $PERF_BENCH_OUT,
 // preserving the other sections. A legacy flat-format file (pre-sections) is
