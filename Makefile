@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race race-batch replay-determinism tstore-equiv lock-matrix bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
+.PHONY: check vet build test race race-batch replay-determinism tstore-equiv store-chaos lock-matrix bench-obs bench-perf bench-perf-smoke bench-rec bench-serve loadtest perf-guard query-smoke fuzz clean
 
 # The full gate: vet, build, tests under the race detector (including the
 # focused batched-delivery pass), the replay-determinism gate, the
-# translation-store equivalence gate, the fuzzer smoke run, both benchmark
-# smoke runs (BENCH_obs.json; bench-perf-smoke does not overwrite the
-# recorded BENCH_perf.json), the record-and-query smoke, the daemon load +
-# chaos-soak tests, the six-tool lock verdict-matrix gate, and the
-# hot-path + checkpoint-overhead + recording-overhead + serve-throughput +
-# warm-store regression guards against the recorded baseline.
-check: vet build race race-batch replay-determinism tstore-equiv lock-matrix fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
+# translation-store equivalence gate, the multi-process store chaos soak,
+# the fuzzer smoke run, both benchmark smoke runs (BENCH_obs.json;
+# bench-perf-smoke does not overwrite the recorded BENCH_perf.json), the
+# record-and-query smoke, the daemon load + chaos-soak tests, the six-tool
+# lock verdict-matrix gate, and the hot-path + checkpoint-overhead +
+# recording-overhead + serve-throughput + warm-store + cross-process-warm
+# regression guards against the recorded baseline.
+check: vet build race race-batch replay-determinism tstore-equiv store-chaos lock-matrix fuzz bench-obs bench-perf-smoke query-smoke loadtest perf-guard
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +51,17 @@ tstore-equiv:
 	$(GO) test -race -count=1 ./internal/tstore
 	$(GO) test -race -count=1 -run 'TestStoreEquivalence|TestStoreInvalidation|TestStoreConcurrentWorkers|TestSweepAmortization|TestJobsShareTranslationStore' . ./internal/serve
 
+# Multi-process store chaos soak, race-enabled: N taskgrind processes plus
+# an in-process daemon share one -tcache-dir while victims are SIGKILLed
+# mid-run and the rest run under injected storage faults (EIO, ENOSPC,
+# short writes, bit flips, lock starvation). Every surviving run must be
+# byte-identical to a storeless cold run, the eviction cap must hold, and
+# the directory must stay warm-adoptable afterwards. STORE_CHAOS=1 scales
+# the fleet up. Fresh run (-count=1) so the gate never passes on a cached
+# result.
+store-chaos:
+	$(GO) test -race -count=1 -run 'TestStoreChaosSoak' .
+
 # Lock verdict-matrix gate: the six-tool x lock-scenario acceptance matrix
 # (expected verdict per cell on every default seed, byte-identical reports
 # across engines, replay-token reproduction of every reporting cell), the
@@ -60,12 +72,14 @@ tstore-equiv:
 lock-matrix:
 	$(GO) test -count=1 -run 'TestVerdictMatrix|TestGoldenLockReports|TestLockSchedulerUnperturbed|TestLockFault' ./internal/tools/golden ./internal/harness ./internal/explore .
 
-# Short fuzzing smoke runs over the untrusted-input surfaces: the assembler
-# and the instruction decoder. Go runs one -fuzz package at a time, hence two
-# invocations.
+# Short fuzzing smoke runs over the untrusted-input surfaces: the
+# assembler, the instruction decoder, and the translation-store frame
+# protocol (the scan that untrusted cache files pass through). Go runs one
+# -fuzz package at a time, hence three invocations.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzAssemble' -fuzztime 5s ./internal/gasm
 	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 5s ./internal/guest
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameScan' -fuzztime 5s ./internal/tstore
 
 # One short iteration of the observability benchmark; the metrics snapshot
 # of the full-stack variant lands in BENCH_obs.json.
@@ -74,17 +88,19 @@ bench-obs:
 
 # Engine comparison on the Table I suite (IR interpreter vs compiled
 # micro-op engine, with and without superblock extension), the
-# tool-delivery comparison (per-event vs batched under memcheck), and the
-# checkpoint/journal overhead arms, plus the lock-contention comparison;
-# writes the "engines", "tool_delivery", "robustness" and "locks" sections
+# tool-delivery comparison (per-event vs batched under memcheck), the
+# checkpoint/journal overhead arms, the lock-contention comparison, and
+# the translation-store contention comparison (cold vs warm-in-memory vs
+# warm-across-process vs warm under flock contention); writes the
+# "engines", "tool_delivery", "robustness", "locks" and "tstore" sections
 # of BENCH_perf.json. Longer -benchtime
 # accumulates more samples and tightens the numbers.
 bench-perf:
-	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkLockContention' -benchtime 10x .
+	PERF_BENCH_OUT=BENCH_perf.json $(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkLockContention|BenchmarkTStoreContention' -benchtime 10x .
 
 # Smoke run for the gate: exercises every arm once, no JSON output.
 bench-perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkRecording|BenchmarkLockContention' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPerfEngines|BenchmarkToolDelivery|BenchmarkRobustness|BenchmarkRecording|BenchmarkLockContention|BenchmarkTStoreContention' -benchtime 1x .
 
 # Recording-overhead comparison (ring sink vs columnar run store on the
 # observability workload); writes the "recording" section of BENCH_perf.json.
@@ -117,12 +133,14 @@ query-smoke:
 # Regression guards: re-measures the compiled engine's hot ns/block (fails
 # on >20% regression), the ckpt-16 checkpoint overhead ratio (fails at
 # 1.5x the recorded ratio), daemon throughput (fails below 1/1.5 of the
-# recorded jobs/sec) and the warm translation store's end-to-end speedup
-# (fails unless warm compiled beats IR end to end, recorded and fresh)
+# recorded jobs/sec), the warm translation store's end-to-end speedup
+# (fails unless warm compiled beats IR end to end, recorded and fresh) and
+# the cross-process warm start (fails if a fresh process sweeping over a
+# primed cache directory costs more than 1.2x one already warm in memory)
 # against the baseline recorded in BENCH_perf.json by `make bench-perf` /
 # `make bench-serve` (best-of-3, so only a real slowdown trips any of them).
 perf-guard:
-	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression|TestServeThroughputRegression|TestWarmStoreE2ERegression' .
+	PERF_GUARD=1 $(GO) test -count=1 -run 'TestHotPerfRegression|TestCkptOverheadRegression|TestRecordingOverheadRegression|TestServeThroughputRegression|TestWarmStoreE2ERegression|TestWarmCrossProcessRegression' .
 
 clean:
 	rm -f BENCH_obs.json BENCH_perf.json

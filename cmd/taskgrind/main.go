@@ -71,8 +71,10 @@ func main() {
 		delivery = flag.String("delivery", "batched", "tool access delivery: batched (one flush per superblock segment), per-event (one callback per access)")
 		extend   = flag.Int("extend", 0, "superblock extension budget in guest instructions (0 = single basic blocks; changes scheduling granularity)")
 
-		tcacheDir    = flag.String("tcache-dir", "", "persistent translation store directory: instrumented+compiled translations are saved per (image,tool,engine,extend,delivery) and reused across runs")
-		pretranslate = flag.Bool("pretranslate", false, "translate statically reachable blocks ahead of execution on spare cores (implies an in-memory translation store)")
+		tcacheDir      = flag.String("tcache-dir", "", "persistent translation store directory, shared safely by concurrent processes: instrumented+compiled translations are saved per (image,tool,engine,extend,delivery) and reused across runs")
+		tcacheMaxMB    = flag.Int64("tcache-max-mb", 0, "translation store byte cap in MiB (0 = unbounded); clock eviction keeps the cache under it")
+		tcacheMaxUnits = flag.Int64("tcache-max-units", 0, "translation store unit cap (0 = unbounded); clock eviction keeps the cache under it")
+		pretranslate   = flag.Bool("pretranslate", false, "translate statically reachable blocks ahead of execution on spare cores (implies an in-memory translation store)")
 		threads  = flag.Int("threads", 4, "OMP_NUM_THREADS")
 		seed     = flag.Uint64("seed", 1, "scheduler seed")
 		list     = flag.Bool("list", false, "list available programs")
@@ -91,7 +93,7 @@ func main() {
 		maxInstrs  = flag.Uint64("max-instrs", 0, "watchdog: abort after N guest instructions (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "watchdog: abort after this wall-clock time (0 = unlimited)")
 		lenientMem = flag.Bool("lenient-mem", false, "disable the strict guest memory model (wild accesses allocate silently)")
-		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched, panic, spurious, handoff, trylock)")
+		inject     = flag.String("inject", "", "fault injection spec, e.g. \"pool=7,steal=3\" (kinds: heap, pool, steal, sched, panic, spurious, handoff, trylock; storage: tsread, tswrite, tsnospc, tsshort, tsflip, tslock)")
 		injectSeed = flag.Uint64("inject-seed", 1, "fault injection seed (phases the -inject firing patterns)")
 		// Recovery knobs: replay tokens, checkpointing, panic fallback.
 		replayTok    = flag.String("replay", "", "re-run the configuration encoded in a crash report's replay token (tg1:...); overrides the program/tool/seed flags")
@@ -218,7 +220,21 @@ func main() {
 	}
 	var tcache *tstore.Cache
 	if *tcacheDir != "" || *pretranslate {
-		tcache = tstore.NewCache(*tcacheDir)
+		opts := tstore.Options{
+			Dir:      *tcacheDir,
+			MaxBytes: *tcacheMaxMB << 20,
+			MaxUnits: *tcacheMaxUnits,
+		}
+		// Storage faults get their own injector instance: the run injector
+		// is rebuilt per supervision attempt, while disk I/O (pretranslate
+		// workers, merges, the final save) spans attempts. Same seed, same
+		// deterministic streams — the storage kinds just never alias an
+		// attempt's guest-visible draws.
+		if *inject != "" {
+			sin, _ := faultinject.ParseSpec(*inject, *injectSeed)
+			opts.FS = &tstore.FaultFS{In: sin}
+		}
+		tcache = tstore.NewCacheOpts(opts)
 	}
 	// makeSetup assembles one attempt's configuration. Under
 	// -on-panic=fallback the supervisor may build several attempts (record,

@@ -42,9 +42,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain wait for in-flight jobs")
 		statePath    = flag.String("state", "", "persist still-queued jobs here at drain; resume them on start")
 		recordDir    = flag.String("record", "", "append every job's run to this run-store directory (query with `taskgrind query`)")
-		tcacheDir    = flag.String("tcache-dir", "", "persistent translation store directory shared by every job; saved at drain so restarts start warm")
-		seed         = flag.Uint64("seed", 1, "retry backoff jitter seed")
-		verbose      = flag.Bool("v", false, "print the metrics snapshot after drain")
+		tcacheDir      = flag.String("tcache-dir", "", "persistent translation store directory shared by every job and safely by concurrent daemons; saved periodically and at drain so restarts (and cold peers) start warm")
+		tcacheMaxMB    = flag.Int64("tcache-max-mb", 0, "translation store byte cap in MiB (0 = unbounded); clock eviction keeps the cache under it")
+		tcacheMaxUnits = flag.Int64("tcache-max-units", 0, "translation store unit cap (0 = unbounded); clock eviction keeps the cache under it")
+		seed           = flag.Uint64("seed", 1, "retry backoff jitter seed")
+		verbose        = flag.Bool("v", false, "print the metrics snapshot after drain")
 	)
 	flag.Parse()
 
@@ -57,7 +59,11 @@ func main() {
 		rec = w
 		defer rec.Close()
 	}
-	tcache := tstore.NewCache(*tcacheDir)
+	tcache := tstore.NewCacheOpts(tstore.Options{
+		Dir:      *tcacheDir,
+		MaxBytes: *tcacheMaxMB << 20,
+		MaxUnits: *tcacheMaxUnits,
+	})
 	srv := serve.New(serve.Options{
 		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
 		JobTimeout: *jobTimeout, DrainTimeout: *drainTimeout,
@@ -66,6 +72,27 @@ func main() {
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
+	}
+	// Periodic persist: a fleet peer (or a CLI run) sharing -tcache-dir
+	// picks up this daemon's translations mid-flight instead of waiting for
+	// drain. Save is incremental (locked append of new frames only) and
+	// degrades on any storage fault, so the ticker is safe to run forever.
+	saveStop := make(chan struct{})
+	if *tcacheDir != "" {
+		go func() {
+			tick := time.NewTicker(10 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := tcache.Save(); err != nil {
+						fmt.Fprintln(os.Stderr, "taskgrindd: tcache save:", err)
+					}
+				case <-saveStop:
+					return
+				}
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -91,6 +118,7 @@ func main() {
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "taskgrindd: shutdown:", err)
 	}
+	close(saveStop)
 	if *tcacheDir != "" {
 		if err := tcache.Save(); err != nil {
 			fmt.Fprintln(os.Stderr, "taskgrindd: tcache save:", err)

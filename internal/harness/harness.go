@@ -127,6 +127,9 @@ type Instance struct {
 	// Pretrans is the ahead-of-execution pipeline handle (nil unless
 	// Setup.Pretranslate started one). Wait on it before saving the cache.
 	Pretrans *dbi.Pretranslation
+	// TStore echoes Setup.TStore when the store was attached (nil when the
+	// tool fixes its own engine); CaptureMetrics snapshots its counters.
+	TStore *tstore.Cache
 }
 
 // New builds an instance.
@@ -187,6 +190,7 @@ func New(s Setup) (*Instance, error) {
 			Delivery: s.Delivery.String(),
 		})
 		inst.Core.Shared = st
+		inst.TStore = s.TStore
 		// An instrumented pipeline without NewTool would publish
 		// uninstrumented blocks under the instrumented key: refuse.
 		if s.Pretranslate && (s.Tool == nil || s.NewTool != nil) {
@@ -346,6 +350,20 @@ func (inst *Instance) CaptureMetrics(reg *obs.Registry) {
 	inst.Inject.PublishMetrics(reg)
 	if inst.Obs != nil {
 		inst.Obs.Tracer.PublishMetrics(reg)
+	}
+
+	if inst.TStore != nil {
+		cs := inst.TStore.Stats()
+		reg.Counter("tstore_units").Set(uint64(cs.Units))
+		reg.Counter("tstore_hits_total").Set(cs.Hits)
+		reg.Counter("tstore_misses_total").Set(cs.Misses)
+		reg.Counter("tstore_translations_total").Set(cs.Puts)
+		reg.Counter("tstore_evictions_total").Set(cs.Evictions)
+		reg.Counter("tstore_corrupt_frames_total").Set(cs.CorruptFrames)
+		reg.Counter("tstore_io_faults_total").Set(cs.IOFaults)
+		reg.Counter("tstore_lock_waits_total").Set(cs.LockWaits)
+		reg.Counter("tstore_merged_total").Set(cs.Merged)
+		reg.Gauge("tstore_bytes").Set(float64(cs.Bytes))
 	}
 
 	heap := inst.Lib.Heap

@@ -146,6 +146,7 @@ type Server struct {
 	queueWaitMax  atomic.Int64
 	retriesBusy   atomic.Int64 // retry goroutines blocked on a full queue
 	parkedAtDrain atomic.Uint64
+	stateCorrupt  atomic.Uint64 // corrupt -state files quarantined at start
 }
 
 // New builds a server (workers not yet started).
@@ -404,12 +405,19 @@ func (s *Server) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("serve_retry_backlog").Set(float64(s.retriesBusy.Load()))
 	reg.Gauge("serve_drain_seconds").Set(float64(s.drainNanos.Load()) / 1e9)
 	reg.Gauge("serve_queue_wait_max_seconds").Set(float64(s.queueWaitMax.Load()) / 1e9)
+	reg.Counter("serve_state_corrupt_total").Set(s.stateCorrupt.Load())
 	cs := s.opts.TCache.Stats()
 	reg.Gauge("tstore_stores").Set(float64(cs.Stores))
 	reg.Gauge("tstore_units").Set(float64(cs.Units))
+	reg.Gauge("tstore_bytes").Set(float64(cs.Bytes))
 	reg.Counter("tstore_hits_total").Set(cs.Hits)
 	reg.Counter("tstore_misses_total").Set(cs.Misses)
 	reg.Counter("tstore_translations_total").Set(cs.Puts)
+	reg.Counter("tstore_evictions_total").Set(cs.Evictions)
+	reg.Counter("tstore_io_faults_total").Set(cs.IOFaults)
+	reg.Counter("tstore_lock_waits_total").Set(cs.LockWaits)
+	reg.Counter("tstore_corrupt_frames_total").Set(cs.CorruptFrames)
+	reg.Counter("tstore_merged_total").Set(cs.Merged)
 }
 
 // MetricsSnapshot publishes into a fresh registry and freezes it.
@@ -559,7 +567,19 @@ func (s *Server) resumeState() error {
 	}
 	var st stateFile
 	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("serve: corrupt state file %s: %w", s.opts.StatePath, err)
+		// A damaged park file must never wedge a fleet restart: quarantine
+		// it (the bytes stay on disk for a human to inspect) and start
+		// empty. The parked jobs are lost — their submitters see a timeout
+		// and resubmit — which beats a daemon that cannot boot.
+		quarantine := s.opts.StatePath + ".corrupt"
+		if rerr := os.Rename(s.opts.StatePath, quarantine); rerr != nil {
+			// Even the rename failing must not block startup; drop the
+			// file's claim on us and move on.
+			quarantine = s.opts.StatePath + " (rename failed: " + rerr.Error() + ")"
+		}
+		s.stateCorrupt.Add(1)
+		fmt.Fprintf(os.Stderr, "serve: corrupt state file quarantined to %s: %v\n", quarantine, err)
+		return nil
 	}
 	for _, spec := range st.Queued {
 		if _, err := s.Submit(spec); err != nil {

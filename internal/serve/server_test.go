@@ -371,6 +371,41 @@ func TestDrainPersistsAndResumes(t *testing.T) {
 	}
 }
 
+// TestCorruptStateQuarantined: a damaged park file must never wedge a
+// fleet restart — the daemon quarantines it (rename to <state>.corrupt),
+// counts it, and starts empty and ready.
+func TestCorruptStateQuarantined(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "queue.json")
+	if err := os.WriteFile(state, []byte("{\"queued\": [truncated gar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Workers: 1, StatePath: state})
+	if !s.Ready() {
+		t.Fatal("server with corrupt state did not come up ready")
+	}
+	if got := s.MetricsSnapshot().Counter("serve_state_corrupt_total"); got != 1 {
+		t.Fatalf("serve_state_corrupt_total = %d, want 1", got)
+	}
+	if _, err := os.Stat(state); !os.IsNotExist(err) {
+		t.Fatal("corrupt state file still in place")
+	}
+	data, err := os.ReadFile(state + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	if !strings.Contains(string(data), "truncated gar") {
+		t.Fatal("quarantined copy does not preserve the damaged bytes")
+	}
+	// The daemon still works: submit and complete a job.
+	jobs, err := s.Submit(JobSpec{Prog: "task.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := await(t, s, jobs[0].ID, 60*time.Second); v.Status != StatusDone {
+		t.Fatalf("job after quarantine ended %s", v.Status)
+	}
+}
+
 // TestRecordedJobsLandInStore: with Options.Record, every job's run —
 // including crashes — appears in the shared run store.
 func TestRecordedJobsLandInStore(t *testing.T) {

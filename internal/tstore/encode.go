@@ -45,6 +45,19 @@ func (d *dec) fail(format string, args ...any) {
 }
 
 func (d *dec) u64() uint64 {
+	// One-byte fast path: almost every field in a unit (kinds, widths,
+	// temps, small lengths) is < 0x80, and the warm-start scan decodes
+	// thousands of them per store file.
+	if d.err == nil && d.off < len(d.buf) {
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			return uint64(b)
+		}
+	}
+	return d.u64Slow()
+}
+
+func (d *dec) u64Slow() uint64 {
 	if d.err != nil {
 		return 0
 	}
@@ -58,6 +71,17 @@ func (d *dec) u64() uint64 {
 }
 
 func (d *dec) i64() int64 {
+	if d.err == nil && d.off < len(d.buf) {
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			// Zig-zag decode of a single byte.
+			return int64(b>>1) ^ -int64(b&1)
+		}
+	}
+	return d.i64Slow()
+}
+
+func (d *dec) i64Slow() int64 {
 	if d.err != nil {
 		return 0
 	}

@@ -1,0 +1,197 @@
+package tstore
+
+// The disk-tier I/O seam. Every byte the persistent tier reads or writes —
+// warm loads, on-miss merges, locked appends, compactions — flows through
+// an FS, so every storage failure mode the fleet will meet in production
+// (EIO, a full disk, a short write from a dying device, silent bit rot, a
+// starved advisory lock) has one choke point where it can be injected
+// deterministically and one set of counters where its handling shows up.
+//
+// The contract the rest of the package builds on: an FS error NEVER
+// propagates past the tier as anything worse than "the store is cold(er)
+// than it could be". CRC framing plus the key-in-header check remain the
+// last line against corrupted bytes that do get through a read.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+
+	"repro/internal/faultinject"
+)
+
+// ErrLocked is returned by File.TryLock when another process holds a
+// conflicting advisory lock. Callers retry until their deadline.
+var ErrLocked = errors.New("tstore: file locked")
+
+// ErrLockTimeout is the injected lock-starvation fault: the acquisition is
+// declared timed out immediately, without burning the real deadline.
+var ErrLockTimeout = errors.New("tstore: lock acquisition timed out (injected)")
+
+// File is the slice of *os.File the disk tier needs.
+type File interface {
+	io.Reader
+	io.Writer
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Close() error
+	// TryLock acquires the file's advisory lock (flock) without blocking:
+	// ErrLocked when a conflicting holder exists.
+	TryLock(exclusive bool) error
+	Unlock() error
+}
+
+// FS is the filesystem surface of the persistent tier.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Stat(path string) (os.FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) TryLock(exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return err
+}
+
+func (f osFile) Unlock() error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(path string) error                     { return os.Remove(path) }
+func (OSFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+
+// FaultFS wraps an FS with deterministic storage fault injection. Each
+// operation that can fail in production pulls a decision from the
+// injector's storage streams (seed-deterministic, like every other
+// injected fault) and fails with the corresponding real errno:
+//
+//	tsread  — ReadFile returns EIO
+//	tsflip  — ReadFile silently flips one byte (CRC must catch it)
+//	tswrite — File.Write returns EIO
+//	tsnospc — File.Write returns ENOSPC
+//	tsshort — File.Write persists only half the buffer (torn frame)
+//	tslock  — TryLock reports an immediate acquisition timeout
+//
+// FaultFS is safe for concurrent use: storage decisions are drawn through
+// Injector.FireStorage, which has its own mutex and never enters the
+// replay journal (see that method's contract).
+type FaultFS struct {
+	// Inner is the wrapped filesystem (nil = OSFS).
+	Inner FS
+	// In supplies the decisions; a nil injector makes FaultFS transparent.
+	In *faultinject.Injector
+
+	mu       sync.Mutex
+	flipSalt uint64 // decorrelates successive bit-flip positions
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return OSFS{}
+	}
+	return f.Inner
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.In.FireStorage(faultinject.StoreReadErr) {
+		return nil, &os.PathError{Op: "read", Path: path, Err: syscall.EIO}
+	}
+	data, err := f.inner().ReadFile(path)
+	if err != nil {
+		return data, err
+	}
+	if len(data) > 0 && f.In.FireStorage(faultinject.StoreBitFlip) {
+		// Flip one byte at a deterministic, advancing position: the exact
+		// byte never matters for correctness (CRC or the header check must
+		// reject the damage wherever it lands), advancing positions make
+		// repeated reads exercise different frames.
+		f.mu.Lock()
+		f.flipSalt += 0x9e3779b97f4a7c15
+		idx := f.flipSalt % uint64(len(data))
+		f.mu.Unlock()
+		data[idx] ^= 0x20
+	}
+	return data, nil
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f faultFile) Write(p []byte) (int, error) {
+	if f.fs.In.FireStorage(faultinject.StoreWriteErr) {
+		return 0, syscall.EIO
+	}
+	if f.fs.In.FireStorage(faultinject.StoreNoSpace) {
+		return 0, syscall.ENOSPC
+	}
+	if len(p) > 1 && f.fs.In.FireStorage(faultinject.StoreShortWrite) {
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return f.File.Write(p)
+}
+
+func (f faultFile) TryLock(exclusive bool) error {
+	if f.fs.In.FireStorage(faultinject.StoreLockTimeout) {
+		return ErrLockTimeout
+	}
+	return f.File.TryLock(exclusive)
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner().OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner().MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.In.FireStorage(faultinject.StoreWriteErr) {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error { return f.inner().Remove(path) }
+
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) { return f.inner().Stat(path) }

@@ -1,0 +1,187 @@
+package repro
+
+// Multi-process chaos soak for the persistent translation store: N
+// taskgrind processes and an in-process daemon share one -tcache-dir while
+// some processes are SIGKILLed mid-run and others run under storage fault
+// injection (EIO, ENOSPC, short writes, bit flips, lock starvation). The
+// acceptance criterion is the degradation invariant at system scale: every
+// surviving run's stdout is byte-identical to a cold run with no store at
+// all, the eviction cap holds, and the cache directory stays adoptable —
+// a fresh clean process warm-starts from whatever the chaos left behind.
+//
+// Default scale is a smoke (fits in `make check`); STORE_CHAOS=1 runs the
+// full soak.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tstore"
+)
+
+// storeChaosSpecs rotate across processes: clean appenders interleave with
+// every injected storage fault kind, all on the same cache directory.
+var storeChaosSpecs = []string{
+	"",
+	"tsflip=3",
+	"tsread=2",
+	"tsshort=3,tsnospc=5",
+	"tslock=1",
+	"tswrite=2",
+}
+
+func TestStoreChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak")
+	}
+	procs, rounds := 6, 2
+	if os.Getenv("STORE_CHAOS") == "1" {
+		procs, rounds = 10, 6
+	}
+	bin := filepath.Join(t.TempDir(), "taskgrind")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/taskgrind").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	const prog = "072-taskdep1-orig"
+	const maxUnits = 12
+	base := []string{"-prog", prog, "-seed", "1", "-threads", "4"}
+
+	// The oracle: one run with no store at all.
+	cold, err := exec.Command(bin, base...).Output()
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	// The daemon arm: an in-process serve.Server whose translation cache
+	// holds the same directory, saving between rounds like taskgrindd's
+	// periodic flush — so CLI processes contend with a live warm daemon.
+	dcache := tstore.NewCacheOpts(tstore.Options{Dir: cacheDir, MaxUnits: maxUnits})
+	srv := serve.New(serve.Options{Workers: 2, QueueDepth: 16, TCache: dcache})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(round, p int) {
+				defer wg.Done()
+				args := append(append([]string{}, base...),
+					"-tcache-dir", cacheDir,
+					"-tcache-max-units", fmt.Sprint(maxUnits))
+				spec := storeChaosSpecs[(round*procs+p)%len(storeChaosSpecs)]
+				if spec != "" {
+					args = append(args, "-inject", spec,
+						"-inject-seed", fmt.Sprint(round*31+p+1))
+				}
+				cmd := exec.Command(bin, args...)
+				var stdout, stderr bytes.Buffer
+				cmd.Stdout, cmd.Stderr = &stdout, &stderr
+				victim := p == procs-1 // one SIGKILL per round, mid-run when it lands
+				if victim {
+					if err := cmd.Start(); err != nil {
+						t.Errorf("start: %v", err)
+						return
+					}
+					time.Sleep(time.Duration(round%3) * time.Millisecond)
+					_ = cmd.Process.Signal(syscall.SIGKILL)
+					_ = cmd.Wait()
+					return
+				}
+				if err := cmd.Run(); err != nil {
+					t.Errorf("round %d proc %d (inject %q): %v\nstderr: %s",
+						round, p, spec, err, stderr.String())
+					return
+				}
+				if !bytes.Equal(stdout.Bytes(), cold) {
+					t.Errorf("round %d proc %d (inject %q): stdout diverged from cold\ncold: %q\ngot:  %q",
+						round, p, spec, cold, stdout.String())
+				}
+			}(round, p)
+		}
+		// Daemon jobs ride the same store while the CLI fleet churns it.
+		jobs, err := srv.Submit(serve.JobSpec{Prog: prog, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		for _, j := range jobs {
+			for {
+				v, err := srv.Job(j.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Status.Terminal() {
+					if v.Status != serve.StatusDone {
+						t.Fatalf("daemon job ended %s: %+v", v.Status, v.Result)
+					}
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if err := dcache.Save(); err != nil {
+			t.Logf("daemon save (degraded, non-fatal): %v", err)
+		}
+	}
+
+	// Whatever the kills and faults left on disk must still warm-start a
+	// clean process: identical output, cross-process adoption visible, and
+	// the unit cap respected.
+	mpath := filepath.Join(t.TempDir(), "metrics.json")
+	finalArgs := append(append([]string{}, base...),
+		"-tcache-dir", cacheDir, "-tcache-max-units", fmt.Sprint(maxUnits),
+		"-metrics", mpath)
+	final := exec.Command(bin, finalArgs...)
+	var stdout, stderr bytes.Buffer
+	final.Stdout, final.Stderr = &stdout, &stderr
+	if err := final.Run(); err != nil {
+		t.Fatalf("final warm run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), cold) {
+		t.Fatalf("final warm run diverged from cold\ncold: %q\ngot:  %q", cold, stdout.String())
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if u := snap.Counters["tstore_units"]; u > maxUnits {
+		t.Errorf("unit cap violated: tstore_units = %d > %d", u, maxUnits)
+	}
+	if snap.Counters["tstore_merged_total"] == 0 && snap.Counters["tstore_hits_total"] == 0 {
+		t.Errorf("final run adopted nothing from the chaos-survivor store: %v", snap.Counters)
+	}
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tc int
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tcache") {
+			tc++
+		}
+	}
+	if tc == 0 {
+		t.Error("no .tcache files survived the soak")
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"hash/fnv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dbi"
 	"repro/internal/drb"
 	"repro/internal/explore"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/progs"
 	"repro/internal/tstore"
@@ -286,6 +288,78 @@ func TestStoreConcurrentWorkers(t *testing.T) {
 	}
 	if stats.Hits == 0 {
 		t.Fatalf("no worker adopted anything")
+	}
+}
+
+// TestStoreEquivalenceStorageFaults: every injected storage fault kind,
+// firing on every opportunity, across {cold, disk-warm, pretranslated}
+// store shapes and both engines, yields results bit-identical to the clean
+// cold run. This is the degradation invariant end to end: a broken disk,
+// a full disk, bit rot or a starved lock can slow a run down (it
+// translates cold), but can never change what it computes or reports.
+func TestStoreEquivalenceStorageFaults(t *testing.T) {
+	bm, ok := drb.ByName("072-taskdep1-orig")
+	if !ok {
+		t.Fatal("missing benchmark")
+	}
+	kinds := []struct {
+		kind faultinject.Kind
+		name string
+	}{
+		{faultinject.StoreReadErr, "tsread"},
+		{faultinject.StoreWriteErr, "tswrite"},
+		{faultinject.StoreNoSpace, "tsnospc"},
+		{faultinject.StoreShortWrite, "tsshort"},
+		{faultinject.StoreBitFlip, "tsflip"},
+		{faultinject.StoreLockTimeout, "tslock"},
+	}
+	engines := []string{dbi.EngineIR, dbi.EngineCompiled}
+	if testing.Short() {
+		engines = engines[1:]
+	}
+	for _, eng := range engines {
+		cold, _ := tcRun(t, bm, eng, 0, harness.Setup{})
+		for _, k := range kinds {
+			faultCache := func(dir string) *tstore.Cache {
+				in := faultinject.New(11)
+				in.Enable(k.kind, 1)
+				return tstore.NewCacheOpts(tstore.Options{
+					Dir: dir, FS: &tstore.FaultFS{In: in},
+					LockTimeout: 10 * time.Millisecond,
+				})
+			}
+
+			// Cold against a faulty directory-backed cache: every disk op
+			// fails, the run translates everything itself.
+			coldFault, _ := tcRun(t, bm, eng, 0,
+				harness.Setup{TStore: faultCache(t.TempDir())})
+			diffPrints(t, bm.Name+"/"+eng+"/"+k.name+"/cold", cold, coldFault)
+
+			// Disk-warm: a clean run persists the tier first; the faulty
+			// cache then fails (partially or totally) to read it back. The
+			// run must land cold-or-warm but always identical.
+			dir := t.TempDir()
+			seedCache := tstore.NewCache(dir)
+			_, _ = tcRun(t, bm, eng, 0, harness.Setup{TStore: seedCache})
+			if err := seedCache.Save(); err != nil {
+				t.Fatalf("seed save: %v", err)
+			}
+			warmFault, warmInst := tcRun(t, bm, eng, 0,
+				harness.Setup{TStore: faultCache(dir)})
+			diffPrints(t, bm.Name+"/"+eng+"/"+k.name+"/disk-warm", cold, warmFault)
+			if warmInst.Core.Translations == 0 && warmInst.Core.SharedHits == 0 {
+				t.Fatalf("%s/%s: run neither translated nor adopted", eng, k.name)
+			}
+
+			// Pretranslated: the pipeline races the guest while the disk
+			// tier misbehaves underneath both.
+			preFault, _ := tcRun(t, bm, eng, 0, harness.Setup{
+				TStore:       faultCache(t.TempDir()),
+				Pretranslate: true,
+				NewTool:      func() dbi.Tool { return core.New(core.Options{}) },
+			})
+			diffPrints(t, bm.Name+"/"+eng+"/"+k.name+"/pretranslated", cold, preFault)
+		}
 	}
 }
 
